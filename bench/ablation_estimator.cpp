@@ -1,0 +1,95 @@
+// Ablation: how much of BAS's gain comes from estimate quality?
+//
+// The paper notes (§4.2) that pUBS degrades to a random-like schedule
+// with bad estimates and is near-optimal with accurate ones. This bench
+// runs BAS-2 with the full estimator ladder — worst-case (no
+// information), static mean, history EMA (the paper's suggestion), and
+// oracle (clairvoyant) — under both actual-computation models, reporting
+// battery lifetime and energy.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "battery/kibam.hpp"
+#include "core/scheme.hpp"
+#include "sim/simulator.hpp"
+#include "tgff/workload.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bas;
+  util::Cli cli(argc, argv, {{"sets", "8"}, {"seed", "17"}, {"csv", ""}});
+  const int sets = static_cast<int>(cli.get_int("sets"));
+  const auto seed = cli.get_u64("seed");
+
+  const auto proc = dvs::Processor::paper_default();
+  const bat::KibamBattery battery(bat::KibamParams::paper_aaa_nimh());
+
+  struct Ladder {
+    const char* label;
+    std::function<std::unique_ptr<sched::Estimator>()> make;
+  };
+  const std::vector<Ladder> ladder{
+      {"worst-case", [] { return sched::make_worst_case_estimator(); }},
+      {"mean-0.6wc", [] { return sched::make_mean_fraction_estimator(); }},
+      {"history-EMA", [] { return sched::make_history_estimator(); }},
+      {"oracle", [] { return sched::make_oracle_estimator(); }},
+  };
+
+  util::print_banner("Ablation: estimator quality under BAS-2");
+  std::printf("config: %s\n\n", cli.summary().c_str());
+
+  for (const auto model :
+       {sim::AcModel::kPerNodeMean, sim::AcModel::kIid}) {
+    std::printf("actual-computation model: %s\n",
+                model == sim::AcModel::kIid ? "iid U(0.2,1.0) per instance"
+                                            : "persistent per-node means");
+    util::Table table(
+        {"estimator", "lifetime (min)", "delivered (mAh)", "energy (J)"});
+    for (const auto& rung : ladder) {
+      util::Accumulator life;
+      util::Accumulator delivered;
+      util::Accumulator energy;
+      for (int s = 0; s < sets; ++s) {
+        util::Rng rng(util::Rng::hash_combine(
+            seed, static_cast<std::uint64_t>(s)));
+        tgff::WorkloadParams wp;
+        wp.graph_count = 3;
+        wp.target_utilization = 0.7 / 0.6;
+        wp.period_lo_s = 0.5;
+        wp.period_hi_s = 5.0;
+        const auto set = tgff::make_workload(wp, rng);
+
+        core::Scheme scheme = core::make_custom_scheme(
+            rung.label, dvs::make_la_edf(proc.fmax_hz()),
+            sched::make_pubs_priority(), rung.make(),
+            core::ReadyScope::kAllReleased);
+        sim::SimConfig config;
+        config.horizon_s = 24.0 * 3600.0;
+        config.drain = false;
+        config.record_profile = false;
+        config.ac_model = model;
+        config.seed = util::Rng::hash_combine(seed, 100u + static_cast<std::uint64_t>(s));
+        const auto battery_clone = battery.fresh_clone();
+        sim::Simulator sim(set, proc, scheme, config);
+        const auto r = sim.run(battery_clone.get());
+        life.add(r.battery_lifetime_s / 60.0);
+        delivered.add(r.battery_delivered_mah);
+        energy.add(r.energy_j);
+      }
+      table.add_row({rung.label, util::Table::num(life.mean(), 1),
+                     util::Table::num(delivered.mean(), 0),
+                     util::Table::num(energy.mean(), 0)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: lifetime rises monotonically up the ladder when the\n"
+      "workload has learnable structure (per-node means); under iid\n"
+      "actuals history can do no better than the static mean.\n");
+  return 0;
+}

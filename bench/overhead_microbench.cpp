@@ -1,0 +1,121 @@
+// Scheduler overhead microbenchmarks (google-benchmark).
+//
+// The paper argues its two-step methodology is cheap enough for dynamic
+// (online) use, unlike cost-function optimization over battery models.
+// These benchmarks measure the per-decision costs: frequency selection
+// (ccEDF / laEDF), pUBS scoring, the feasibility check, and a whole
+// simulated second of BAS-2 scheduling.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "dvs/policy.hpp"
+#include "dvs/realizer.hpp"
+#include "sched/feasibility.hpp"
+#include "sched/priority.hpp"
+#include "sim/simulator.hpp"
+#include "tgff/workload.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bas;
+
+std::vector<dvs::GraphStatus> make_statuses(int n) {
+  std::vector<dvs::GraphStatus> statuses;
+  util::Rng rng(5);
+  for (int g = 0; g < n; ++g) {
+    dvs::GraphStatus s;
+    s.graph = g;
+    s.period_s = rng.uniform(0.1, 1.0);
+    s.abs_deadline_s = s.period_s;
+    s.wc_total_cycles = rng.uniform(1e7, 1e8);
+    s.cc_wc_cycles = s.wc_total_cycles * rng.uniform(0.5, 1.0);
+    s.remaining_wc_cycles = s.cc_wc_cycles * rng.uniform(0.2, 1.0);
+    statuses.push_back(s);
+  }
+  return statuses;
+}
+
+void BM_CcEdfSelect(benchmark::State& state) {
+  auto policy = dvs::make_cc_edf(1e9);
+  const auto statuses = make_statuses(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->select(statuses, 0.01));
+  }
+}
+BENCHMARK(BM_CcEdfSelect)->Arg(3)->Arg(10)->Arg(30);
+
+void BM_LaEdfSelect(benchmark::State& state) {
+  auto policy = dvs::make_la_edf(1e9);
+  const auto statuses = make_statuses(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->select(statuses, 0.01));
+  }
+}
+BENCHMARK(BM_LaEdfSelect)->Arg(3)->Arg(10)->Arg(30);
+
+void BM_PubsScore(benchmark::State& state) {
+  auto pubs = sched::make_pubs_priority();
+  sched::Candidate c;
+  c.wc_cycles = 1e7;
+  c.estimate_cycles = 6e6;
+  c.actual_cycles = 5e6;
+  c.graph_abs_deadline_s = 1.0;
+  c.graph_remaining_wc_cycles = 5e7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pubs->score(c, 0.1));
+  }
+}
+BENCHMARK(BM_PubsScore);
+
+void BM_FeasibilityCheck(benchmark::State& state) {
+  auto statuses = make_statuses(static_cast<int>(state.range(0)));
+  std::sort(statuses.begin(), statuses.end(),
+            [](const dvs::GraphStatus& a, const dvs::GraphStatus& b) {
+              return a.abs_deadline_s < b.abs_deadline_s;
+            });
+  const int pos = static_cast<int>(statuses.size()) - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::feasibility_check(statuses, pos, 1e6, 8e8, 0.01));
+  }
+}
+BENCHMARK(BM_FeasibilityCheck)->Arg(3)->Arg(10)->Arg(30);
+
+void BM_Realize(benchmark::State& state) {
+  const auto proc = dvs::Processor::paper_default();
+  double f = 0.51e9;
+  for (auto _ : state) {
+    f = f > 0.99e9 ? 0.51e9 : f + 1e6;
+    benchmark::DoNotOptimize(dvs::realize(proc, f));
+  }
+}
+BENCHMARK(BM_Realize);
+
+void BM_SimulatedSecondBas2(benchmark::State& state) {
+  util::Rng rng(9);
+  tgff::WorkloadParams wp;
+  wp.graph_count = static_cast<int>(state.range(0));
+  wp.target_utilization = 0.9;
+  wp.period_lo_s = 0.05;
+  wp.period_hi_s = 0.2;
+  const auto set = tgff::make_workload(wp, rng);
+  const auto proc = dvs::Processor::paper_default();
+  for (auto _ : state) {
+    sim::SimConfig config;
+    config.horizon_s = 1.0;
+    config.record_profile = false;
+    core::Scheme scheme =
+        core::make_scheme(core::SchemeKind::kBas2, proc.fmax_hz(), 1);
+    sim::Simulator sim(set, proc, scheme, config);
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_SimulatedSecondBas2)->Arg(3)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Reproduces Table 1: energy consumption of Random / LTF / pUBS
+// schedules for single task graphs of 5..15 nodes, normalized to the
+// exhaustive-optimal schedule.
+//
+// Paper values (normalized energy, averaged over random DAGs):
+//   tasks:   5     6     7     8     9     10    11    12    13    14    15
+//   Random   1.32  1.41  1.33  1.56  1.52  1.35  1.66  1.58  1.57  1.44  1.55
+//   LTF      1.25  1.29  1.27  1.44  1.26  1.21  1.51  1.39  1.51  1.37  1.51
+//   pUBS     1.05  1.14  1.17  1.25  1.21  1.09  1.28  1.31  1.22  1.29  1.32
+//
+// The shape to reproduce: pUBS close to optimal, LTF clearly worse,
+// Random worst; the gap grows loosely with graph size. We additionally
+// report pUBS with a clairvoyant estimate (Gruian's <1% claim applies to
+// independent tasks with perfect estimates).
+
+#include <cstdio>
+#include <vector>
+
+#include "dvs/processor.hpp"
+#include "sched/optimal.hpp"
+#include "tgff/generator.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::vector<double> draw_actuals(const bas::tg::TaskGraph& g,
+                                 bas::util::Rng& rng) {
+  std::vector<double> ac(g.node_count());
+  for (bas::tg::NodeId id = 0; id < g.node_count(); ++id) {
+    ac[id] = g.node(id).wcet_cycles * rng.uniform(0.2, 1.0);
+  }
+  return ac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bas;
+  util::Cli cli(argc, argv, {{"dags", "40"},
+                             {"seed", "1"},
+                             {"min-tasks", "5"},
+                             {"max-tasks", "15"},
+                             {"full", "0"},
+                             {"csv", ""}});
+  const int dags = cli.get_flag("full") ? 200 : static_cast<int>(cli.get_int("dags"));
+  const auto seed = cli.get_u64("seed");
+
+  // Energy comparisons run on the continuous-frequency idealization so
+  // the optimal search has a smooth objective (see DESIGN.md).
+  const auto proc = dvs::Processor::continuous_ideal(1e9, 5.0);
+
+  util::print_banner(
+      "Table 1: energy normalized w.r.t. optimal schedule (single DAGs)");
+  std::printf("config: %s\n\n", cli.summary().c_str());
+
+  util::Table table({"# of tasks", "Random", "LTF", "STF", "pUBS",
+                     "pUBS(oracle)", "exact%"});
+
+  for (int n = static_cast<int>(cli.get_int("min-tasks"));
+       n <= static_cast<int>(cli.get_int("max-tasks")); ++n) {
+    util::Accumulator random_ratio;
+    util::Accumulator ltf_ratio;
+    util::Accumulator stf_ratio;
+    util::Accumulator pubs_ratio;
+    util::Accumulator pubs_oracle_ratio;
+    int exact_count = 0;
+
+    for (int d = 0; d < dags; ++d) {
+      util::Rng rng(util::Rng::hash_combine(
+          seed, static_cast<std::uint64_t>(n * 10007 + d)));
+      tgff::GeneratorParams gp;
+      gp.node_count = n;
+      gp.method = tgff::Method::kFanInFanOut;
+      auto graph = tgff::generate(gp, rng);
+      // Deadline leaves 25% static slack so even all-worst-case fits.
+      graph.set_period(graph.total_wcet_cycles() / (0.8 * proc.fmax_hz()));
+      const auto actuals = draw_actuals(graph, rng);
+
+      const auto opt = sched::optimal_schedule(graph, actuals, proc);
+      if (opt.exact) {
+        ++exact_count;
+      }
+
+      auto run = [&](std::unique_ptr<sched::PriorityPolicy> prio,
+                     std::unique_ptr<sched::Estimator> est) {
+        return sched::greedy_schedule(graph, actuals, proc, *prio, *est)
+                   .energy_j /
+               opt.energy_j;
+      };
+      // Average the random baseline over several draws per DAG.
+      util::Accumulator rnd;
+      for (int r = 0; r < 5; ++r) {
+        rnd.add(run(sched::make_random_priority(
+                        util::Rng::hash_combine(seed, 999u + r)),
+                    sched::make_history_estimator()));
+      }
+      random_ratio.add(rnd.mean());
+      ltf_ratio.add(run(sched::make_ltf_priority(),
+                        sched::make_history_estimator()));
+      stf_ratio.add(run(sched::make_stf_priority(),
+                        sched::make_history_estimator()));
+      // The paper's pUBS assumes per-task-informative estimates; we use
+      // a noisy oracle (actual +/- 25%) as the "accurate estimate"
+      // regime, with flat-mean pUBS degenerating to LTF as the paper
+      // warns ("if the estimate is bad ... more like a random
+      // schedule").
+      pubs_ratio.add(run(sched::make_pubs_priority(),
+                         sched::make_noisy_oracle_estimator(
+                             0.25, util::Rng::hash_combine(seed, 77))));
+      pubs_oracle_ratio.add(run(sched::make_pubs_priority(),
+                                sched::make_oracle_estimator()));
+    }
+
+    table.add_row({util::Table::num(static_cast<long long>(n)),
+                   util::Table::num(random_ratio.mean(), 2),
+                   util::Table::num(ltf_ratio.mean(), 2),
+                   util::Table::num(stf_ratio.mean(), 2),
+                   util::Table::num(pubs_ratio.mean(), 2),
+                   util::Table::num(pubs_oracle_ratio.mean(), 2),
+                   util::Table::num(100.0 * exact_count / dags, 0)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check vs paper: pUBS < LTF < Random at every size; pUBS with "
+      "oracle estimates approaches 1.00.\n");
+
+  if (const auto csv = cli.get("csv"); !csv.empty()) {
+    table.write_csv(csv);
+    std::printf("wrote %s\n", csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Reproduces Table 2: charge delivered (mAh) and battery lifetime (min)
+// for the five scheduling schemes at 70% utilization.
+//
+//   Scheme   DVS     Priority  Ready list       (paper, 2000 mAh cell)
+//   EDF      none    Random    most imminent    1567 mAh    74 min
+//   ccEDF    ccEDF   Random    most imminent    1608 mAh   101 min
+//   laEDF    laEDF   Random    most imminent    1607 mAh   120 min
+//   BAS-1    laEDF   pUBS      most imminent    1723 mAh   137 min
+//   BAS-2    laEDF   pUBS      all released     1757 mAh   148 min
+//
+// Our substrate is a reimplementation (simulator + calibrated battery
+// models), so absolute numbers differ; the shape to reproduce is the
+// ordering EDF < ccEDF < laEDF < BAS-1 < BAS-2 in lifetime, with BAS-2
+// up to ~25% over laEDF and ~2x over EDF-without-DVS.
+//
+// Results are averaged over `--sets` random task-graph sets (the paper
+// uses 100; default here is smaller for a quick run — pass --full).
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/compare.hpp"
+#include "battery/kibam.hpp"
+#include "battery/stochastic.hpp"
+#include "tgff/workload.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bas;
+  util::Cli cli(argc, argv, {{"sets", "12"},
+                             {"graphs", "3"},
+                             {"seed", "2006"},
+                             {"utilization", "0.7"},
+                             {"util-basis", "actual"},
+                             {"battery", "kibam"},
+                             {"full", "0"},
+                             {"csv", ""}});
+  const int sets = cli.get_flag("full") ? 100 : static_cast<int>(cli.get_int("sets"));
+  const int graphs = static_cast<int>(cli.get_int("graphs"));
+  const auto seed = cli.get_u64("seed");
+
+  // The paper's anchors (EDF: 74 min / 1567 mAh at "70% utilization")
+  // are only reproducible when 70% is the *actual* utilization; with
+  // actuals averaging 0.6*wc that corresponds to a worst-case
+  // utilization of ~1.17. Pass --util-basis worst-case for the strict
+  // EDF-guaranteed regime instead. See EXPERIMENTS.md.
+  const double mean_frac = 0.6;  // mean of U(0.2, 1.0)
+  double utilization = cli.get_double("utilization");
+  if (cli.get("util-basis") == "actual") {
+    utilization /= mean_frac;
+  }
+
+  const auto proc = dvs::Processor::paper_default();
+  std::unique_ptr<bat::Battery> battery;
+  if (cli.get("battery") == "stochastic") {
+    battery = std::make_unique<bat::StochasticBattery>(bat::StochasticParams{});
+  } else {
+    battery =
+        std::make_unique<bat::KibamBattery>(bat::KibamParams::paper_aaa_nimh());
+  }
+
+  util::print_banner("Table 2: battery lifetime by scheduling scheme");
+  std::printf("config: %s\n\n", cli.summary().c_str());
+
+  const auto kinds = core::table2_schemes();
+  std::vector<util::Accumulator> delivered(kinds.size());
+  std::vector<util::Accumulator> lifetime(kinds.size());
+  std::vector<util::Accumulator> energy(kinds.size());
+  std::vector<std::size_t> misses(kinds.size(), 0);
+
+  for (int s = 0; s < sets; ++s) {
+    util::Rng rng(util::Rng::hash_combine(seed, static_cast<std::uint64_t>(s)));
+    tgff::WorkloadParams wp;
+    wp.graph_count = graphs;
+    wp.target_utilization = utilization;
+    wp.period_lo_s = 0.5;
+    wp.period_hi_s = 5.0;
+    const auto set = tgff::make_workload(wp, rng);
+
+    sim::SimConfig config;
+    config.horizon_s = 24.0 * 3600.0;  // the battery dies long before
+    config.drain = false;
+    config.seed = util::Rng::hash_combine(seed, 1000u + static_cast<std::uint64_t>(s));
+    config.record_profile = false;
+    config.record_trace = false;
+    config.ac_model = sim::AcModel::kPerNodeMean;
+
+    const auto outcomes =
+        analysis::compare_schemes(set, proc, kinds, config, battery.get());
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      delivered[k].add(outcomes[k].result.battery_delivered_mah);
+      lifetime[k].add(outcomes[k].result.battery_lifetime_s / 60.0);
+      energy[k].add(outcomes[k].result.energy_j);
+      misses[k] += outcomes[k].result.deadline_misses;
+    }
+  }
+
+  util::Table table({"Scheme", "DVS Algo.", "Priority fct", "Ready list",
+                     "Charge Delivered (mAh)", "Battery Life (min)",
+                     "vs EDF", "misses"});
+  const char* dvs_names[] = {"None", "ccEDF", "laEDF", "laEDF", "laEDF"};
+  const char* prio_names[] = {"Random", "Random", "Random", "pUBS", "pUBS"};
+  const char* ready_names[] = {"most imminent", "most imminent",
+                               "most imminent", "most imminent",
+                               "all released"};
+  const double edf_life = lifetime[0].mean();
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    table.add_row({core::to_string(kinds[k]), dvs_names[k], prio_names[k],
+                   ready_names[k], util::Table::num(delivered[k].mean(), 0),
+                   util::Table::num(lifetime[k].mean(), 0),
+                   util::Table::num(lifetime[k].mean() / edf_life, 2) + "x",
+                   util::Table::num(static_cast<long long>(misses[k]))});
+  }
+  table.print();
+
+  const double laedf_life = lifetime[2].mean();
+  const double bas2_life = lifetime[4].mean();
+  std::printf(
+      "\nBAS-2 vs laEDF: +%.1f%% lifetime (paper: up to +23.3%%)\n"
+      "BAS-2 vs ccEDF: +%.1f%% lifetime (paper: up to +47%%)\n"
+      "BAS-2 vs EDF-noDVS: +%.1f%% lifetime (paper: up to +100%%)\n",
+      100.0 * (bas2_life / laedf_life - 1.0),
+      100.0 * (bas2_life / lifetime[1].mean() - 1.0),
+      100.0 * (bas2_life / edf_life - 1.0));
+
+  if (const auto csv = cli.get("csv"); !csv.empty()) {
+    table.write_csv(csv);
+    std::printf("wrote %s\n", csv.c_str());
+  }
+  return 0;
+}

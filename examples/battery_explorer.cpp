@@ -1,0 +1,67 @@
+// Battery model explorer: prints the internal state trajectories of the
+// KiBaM and diffusion models under a user-specified pulse pattern, to
+// build the intuition behind the paper's §3 figures (two wells, bound
+// charge, recovery while idle).
+//
+//   $ ./build/examples/battery_explorer --pulse 1.8 --on 120 --off 120
+
+#include <cstdio>
+
+#include "battery/diffusion.hpp"
+#include "battery/kibam.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bas;
+  util::Cli cli(argc, argv, {{"pulse", "1.8"},
+                             {"on", "120"},
+                             {"off", "120"},
+                             {"cycles", "12"}});
+  const double pulse_a = cli.get_double("pulse");
+  const double on_s = cli.get_double("on");
+  const double off_s = cli.get_double("off");
+  const int cycles = static_cast<int>(cli.get_int("cycles"));
+
+  bat::KibamBattery kibam(bat::KibamParams::paper_aaa_nimh());
+  bat::DiffusionBattery diffusion(bat::DiffusionParams::paper_aaa_nimh());
+
+  std::printf(
+      "pulse train: %.2f A for %.0f s, rest %.0f s, %d cycles\n"
+      "KiBaM: available/bound wells (C); diffusion: drawn/unavailable "
+      "(C)\n\n",
+      pulse_a, on_s, off_s, cycles);
+  std::printf(
+      "%8s  %10s %10s %7s  |  %10s %12s %7s\n", "t (s)", "available",
+      "bound", "dead", "drawn", "unavailable", "dead");
+
+  auto report = [&](double t) {
+    std::printf("%8.0f  %10.1f %10.1f %7s  |  %10.1f %12.1f %7s\n", t,
+                kibam.available_c(), kibam.bound_c(),
+                kibam.empty() ? "DEAD" : "", diffusion.charge_delivered_c(),
+                diffusion.unavailable_c(), diffusion.empty() ? "DEAD" : "");
+  };
+
+  double t = 0.0;
+  report(t);
+  for (int c = 0; c < cycles && !kibam.empty(); ++c) {
+    kibam.draw(pulse_a, on_s);
+    diffusion.draw(pulse_a, on_s);
+    t += on_s;
+    report(t);
+    if (kibam.empty() || diffusion.empty()) {
+      break;
+    }
+    kibam.draw(0.0, off_s);
+    diffusion.draw(0.0, off_s);
+    t += off_s;
+    report(t);
+  }
+
+  std::printf(
+      "\nDuring each rest the available well refills from the bound well\n"
+      "(KiBaM) and the unavailable charge decays (diffusion) — the\n"
+      "recovery effect. When the available well empties, charge is still\n"
+      "trapped in the bound well: that is what battery-aware scheduling\n"
+      "rescues.\n");
+  return 0;
+}

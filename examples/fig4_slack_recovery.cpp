@@ -1,0 +1,82 @@
+// Reproduces the paper's Figure 4: "Example of order affecting slack
+// recovery".
+//
+// Two independent tasks share deadline 10: task1 with wc=4, task2 with
+// wc=6 (scaled to cycles at 1 GHz). Case 1: actuals are 40% and 60% of
+// wc; case 2: 60% and 40%. The traces show LTF (run task2 first) against
+// STF (task1 first): in case 1 STF recovers more slack, in case 2 LTF
+// does — which is exactly why a smarter priority function (pUBS) that
+// uses per-task estimates beats any fixed rule.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dvs/processor.hpp"
+#include "sched/optimal.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace {
+
+void print_trace(const std::string& label, const bas::tg::TaskGraph& g,
+                 const std::vector<double>& actuals,
+                 const std::vector<bas::tg::NodeId>& order,
+                 const bas::dvs::Processor& proc) {
+  using namespace bas;
+  // Re-simulate the order to recover per-task speeds and spans.
+  double t = 0.0;
+  double remaining_wc = g.total_wcet_cycles();
+  std::printf("  %-28s", label.c_str());
+  for (tg::NodeId id : order) {
+    const double fref = remaining_wc / (g.deadline() - t);
+    const double f = std::min(fref, proc.fmax_hz());
+    const double dur = actuals[id] / f;
+    std::printf("[T%u %4.2fGHz %.2fs] ", id + 1, f / 1e9, dur);
+    t += dur;
+    remaining_wc -= g.node(id).wcet_cycles;
+  }
+  const auto run = sched::evaluate_order(g, actuals, proc, order);
+  std::printf("-> finish %.2fs, energy %.3f J\n", run.finish_time_s,
+              run.energy_j);
+}
+
+}  // namespace
+
+int main() {
+  using namespace bas;
+  const auto proc = dvs::Processor::continuous_ideal(1e9, 5.0);
+
+  tg::TaskGraph g(10.0, "fig4");
+  g.add_node(4e9, "task1");  // wc = 4 s at 1 GHz
+  g.add_node(6e9, "task2");  // wc = 6 s at 1 GHz
+
+  std::printf(
+      "Figure 4: two tasks, deadline 10 s, wc = {4, 6} s at 1 GHz\n\n");
+
+  {
+    std::printf("case 1: actuals 40%% and 60%% of wc\n");
+    const std::vector<double> ac{0.4 * 4e9, 0.6 * 6e9};
+    print_trace("A: LTF (task2 first)", g, ac, {1, 0}, proc);
+    print_trace("B: STF (task1 first)", g, ac, {0, 1}, proc);
+    const auto ltf = sched::evaluate_order(g, ac, proc, {1, 0});
+    const auto stf = sched::evaluate_order(g, ac, proc, {0, 1});
+    std::printf("  => %s wins (%.1f%% less energy)\n\n",
+                stf.energy_j < ltf.energy_j ? "STF" : "LTF",
+                100.0 * std::abs(1.0 - stf.energy_j / ltf.energy_j));
+  }
+  {
+    std::printf("case 2: actuals 60%% and 40%% of wc\n");
+    const std::vector<double> ac{0.6 * 4e9, 0.4 * 6e9};
+    print_trace("A: LTF (task2 first)", g, ac, {1, 0}, proc);
+    print_trace("B: STF (task1 first)", g, ac, {0, 1}, proc);
+    const auto ltf = sched::evaluate_order(g, ac, proc, {1, 0});
+    const auto stf = sched::evaluate_order(g, ac, proc, {0, 1});
+    std::printf("  => %s wins (%.1f%% less energy)\n\n",
+                stf.energy_j < ltf.energy_j ? "STF" : "LTF",
+                100.0 * std::abs(1.0 - stf.energy_j / ltf.energy_j));
+  }
+  std::printf(
+      "No fixed rule wins both cases; pUBS with per-task estimates picks "
+      "the right task each time (Table 1 bench).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces the paper's Figure 5: canonical EDF ordering vs pUBS-based
+// ordering with the feasibility check.
+//
+// Three task graphs released at t=0:
+//   T1: one task, wc = 5 (seconds at fmax), D1 = 20
+//   T2: one task, wc = 5, D2 = 50
+//   T3: three tasks, wc = 5 each, D3 = 100
+// Utilization is 0.5, so fref = 0.5 fmax; all tasks take their wcet so
+// fref never changes during the trace. The paper assumes the priority
+// function ranks T3's tasks > T2's > T1's. Canonical EDF runs T1, then
+// T2, then T3. The pUBS ordering wants T3 first — and the feasibility
+// check lets it, because at fref the earlier deadlines remain safe; it
+// only forces T1 in when its deadline approaches.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "dvs/processor.hpp"
+#include "sim/simulator.hpp"
+#include "taskgraph/set.hpp"
+
+namespace {
+
+// A priority that reproduces the paper's assumption: later-numbered
+// graphs score better (T3 > T2 > T1).
+class PaperFigure5Priority final : public bas::sched::PriorityPolicy {
+ public:
+  std::string name() const override { return "fig5"; }
+  double score(const bas::sched::Candidate& c, double) override {
+    return -static_cast<double>(c.graph);
+  }
+};
+
+void run_and_print(const char* label, bas::core::Scheme& scheme,
+                   const bas::tg::TaskGraphSet& set,
+                   const bas::dvs::Processor& proc) {
+  using namespace bas;
+  sim::SimConfig config;
+  config.horizon_s = 99.0;  // one instance of everything
+  config.drain = true;
+  config.record_trace = true;
+  config.ac_lo_frac = 0.999;  // "all tasks take their wcet"
+  config.ac_hi_frac = 1.0;
+  sim::Simulator sim(set, proc, scheme, config);
+  const auto result = sim.run();
+
+  std::printf("%s\n", label);
+  for (const auto& s : result.trace) {
+    std::printf("  t=%5.2f..%5.2f  T%d.n%u  @ %.2f GHz\n", s.start_s,
+                s.end_s, s.graph + 1, s.node, s.freq_hz / 1e9);
+  }
+  std::printf("  deadline misses: %zu\n\n", result.deadline_misses);
+}
+
+}  // namespace
+
+int main() {
+  using namespace bas;
+  const auto proc = dvs::Processor::paper_default();
+  const double fmax = proc.fmax_hz();
+
+  tg::TaskGraphSet set;
+  {
+    tg::TaskGraph t1(20.0, "T1");
+    t1.add_node(5.0 * fmax);
+    set.add(std::move(t1));
+    tg::TaskGraph t2(50.0, "T2");
+    t2.add_node(5.0 * fmax);
+    set.add(std::move(t2));
+    tg::TaskGraph t3(100.0, "T3");
+    t3.add_node(5.0 * fmax);
+    t3.add_node(5.0 * fmax);
+    t3.add_node(5.0 * fmax);
+    set.add(std::move(t3));
+  }
+  std::printf(
+      "Figure 5: T1(wc=5, D=20), T2(wc=5, D=50), T3(3x wc=5, D=100); "
+      "U=0.5 so fref = 0.5 fmax\n\n");
+
+  // (a) canonical EDF: most-imminent scope forces T1, T2, T3 order.
+  core::Scheme edf = core::make_custom_scheme(
+      "canonical-EDF", dvs::make_cc_edf(fmax), sched::make_fifo_priority(),
+      sched::make_worst_case_estimator(), core::ReadyScope::kMostImminent);
+  run_and_print("(a) canonical EDF ordering:", edf, set, proc);
+
+  // (b) priority ordering over all released graphs + feasibility check.
+  core::Scheme bas = core::make_custom_scheme(
+      "pUBS+feasibility", dvs::make_cc_edf(fmax),
+      std::make_unique<PaperFigure5Priority>(),
+      sched::make_worst_case_estimator(), core::ReadyScope::kAllReleased);
+  run_and_print(
+      "(b) priority-function ordering (T3 > T2 > T1) with feasibility "
+      "check:",
+      bas, set, proc);
+
+  std::printf(
+      "In (b) the scheduler runs T3's tasks first because the feasibility\n"
+      "check proves T1/T2 stay safe at fref; it switches to T1 just in\n"
+      "time. Deadlines hold in both traces without exceeding fref.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Domain example: a battery-powered sensor node with a bursty duty
+// cycle — sample, process, transmit — where the battery's recovery
+// effect dominates. Demonstrates the battery substrate standalone:
+// comparing duty-cycling strategies with identical average demand on
+// the calibrated models, and picking a sampling period from lifetime
+// targets.
+
+#include <cstdio>
+
+#include "battery/diffusion.hpp"
+#include "battery/ideal.hpp"
+#include "battery/kibam.hpp"
+#include "battery/lifetime.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace bas;
+
+  // The radio dominates: 1.2 A while transmitting. Each duty cycle
+  // samples (80 mA, 50 ms), processes (250 mA, 100 ms), transmits
+  // (1.2 A, 40 ms), then sleeps at 2 mA.
+  auto make_cycle = [](double period_s) {
+    bat::LoadProfile p;
+    p.add(0.050, 0.080);
+    p.add(0.100, 0.250);
+    p.add(0.040, 1.200);
+    p.add(period_s - 0.190, 0.002);
+    return p;
+  };
+
+  const bat::KibamBattery kibam(bat::KibamParams::paper_aaa_nimh());
+  const bat::DiffusionBattery diffusion(bat::DiffusionParams::paper_aaa_nimh());
+  const bat::IdealBattery ideal(bat::to_coulombs(2000.0));
+
+  util::print_banner("Sensor node: sampling period vs battery lifetime");
+  util::Table table({"period (s)", "avg current (mA)", "kibam (h)",
+                     "diffusion (h)", "ideal (h)", "samples taken"});
+  for (double period : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const auto cycle = make_cycle(period);
+    const auto k = bat::lifetime_under_profile(kibam, cycle, 5e6);
+    const auto d = bat::lifetime_under_profile(diffusion, cycle, 5e6);
+    const auto i = bat::lifetime_under_profile(ideal, cycle, 5e6);
+    table.add_row({util::Table::num(period, 1),
+                   util::Table::num(1000.0 * cycle.average_current_a(), 1),
+                   util::Table::num(k.lifetime_s / 3600.0, 1),
+                   util::Table::num(d.lifetime_s / 3600.0, 1),
+                   util::Table::num(i.lifetime_s / 3600.0, 1),
+                   util::Table::num(static_cast<long long>(
+                       k.lifetime_s / period))});
+  }
+  table.print();
+
+  // Same average demand, different burst arrangement: transmit right
+  // after processing (back-to-back peak) vs spread out with rest gaps.
+  util::print_banner("Burst arrangement at fixed 2 s period (equal demand)");
+  bat::LoadProfile back_to_back;
+  back_to_back.add(0.050, 0.080);
+  back_to_back.add(0.100, 0.250);
+  back_to_back.add(0.040, 1.200);
+  back_to_back.add(1.810, 0.002);
+  bat::LoadProfile spread;
+  spread.add(0.050, 0.080);
+  spread.add(0.905, 0.002);
+  spread.add(0.100, 0.250);
+  spread.add(0.040, 1.200);
+  spread.add(0.905, 0.002);
+
+  util::Table t2({"arrangement", "kibam lifetime (h)", "delivered (mAh)"});
+  for (const auto& [name, profile] :
+       {std::pair<const char*, const bat::LoadProfile*>{"back-to-back",
+                                                        &back_to_back},
+        {"spread with rests", &spread}}) {
+    const auto r = bat::lifetime_under_profile(kibam, *profile, 5e6);
+    t2.add_row({name, util::Table::num(r.lifetime_s / 3600.0, 2),
+                util::Table::num(r.delivered_mah(), 0)});
+  }
+  t2.print();
+  std::printf(
+      "\nRest gaps between bursts give the two-well battery time to "
+      "equalize — the same recovery effect BAS exploits at the "
+      "scheduler level.\n");
+  return 0;
+}

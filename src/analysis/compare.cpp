@@ -1,0 +1,48 @@
+#include "analysis/compare.hpp"
+
+namespace bas::analysis {
+
+std::vector<SchemeOutcome> compare_schemes(
+    const tg::TaskGraphSet& set, const dvs::Processor& proc,
+    const std::vector<core::SchemeKind>& kinds, const sim::SimConfig& config,
+    const bat::Battery* battery_prototype) {
+  std::vector<SchemeOutcome> outcomes;
+  outcomes.reserve(kinds.size());
+  for (const auto kind : kinds) {
+    core::Scheme scheme = core::make_scheme(kind, proc.fmax_hz(), config.seed);
+    sim::Simulator sim(set, proc, scheme, config);
+    if (battery_prototype != nullptr) {
+      const auto battery = battery_prototype->fresh_clone();
+      outcomes.push_back({scheme.name, sim.run(battery.get())});
+    } else {
+      outcomes.push_back({scheme.name, sim.run()});
+    }
+  }
+  return outcomes;
+}
+
+tg::TaskGraphSet strip_precedence(const tg::TaskGraphSet& set) {
+  tg::TaskGraphSet out;
+  for (const auto& g : set) {
+    tg::TaskGraph copy(g.period(), g.name());
+    for (tg::NodeId id = 0; id < g.node_count(); ++id) {
+      copy.add_node(g.node(id).wcet_cycles, g.node(id).name);
+    }
+    out.add(std::move(copy));
+  }
+  return out;
+}
+
+double near_optimal_energy_j(const tg::TaskGraphSet& set,
+                             const dvs::Processor& proc,
+                             const sim::SimConfig& config) {
+  const auto independent = strip_precedence(set);
+  core::Scheme scheme = core::make_custom_scheme(
+      "near-optimal", dvs::make_la_edf(proc.fmax_hz()),
+      sched::make_pubs_priority(), sched::make_oracle_estimator(),
+      core::ReadyScope::kAllReleased);
+  sim::Simulator sim(independent, proc, scheme, config);
+  return sim.run().energy_j;
+}
+
+}  // namespace bas::analysis

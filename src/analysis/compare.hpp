@@ -1,0 +1,42 @@
+#pragma once
+// Scheme comparison harnesses shared by the bench binaries and the
+// integration tests: run several schemes over the same workload with
+// common random numbers, with or without a battery in the loop.
+
+#include <string>
+#include <vector>
+
+#include "battery/model.hpp"
+#include "core/scheme.hpp"
+#include "dvs/processor.hpp"
+#include "sim/simulator.hpp"
+#include "taskgraph/set.hpp"
+
+namespace bas::analysis {
+
+struct SchemeOutcome {
+  std::string scheme;
+  sim::SimResult result;
+};
+
+/// Runs each named scheme on the same workload/processor/config. When
+/// `battery_prototype` is non-null a fresh clone is discharged per
+/// scheme (Table 2 mode); otherwise runs are energy-only (Figure 6
+/// mode). Results are returned in the order of `kinds`.
+std::vector<SchemeOutcome> compare_schemes(
+    const tg::TaskGraphSet& set, const dvs::Processor& proc,
+    const std::vector<core::SchemeKind>& kinds, const sim::SimConfig& config,
+    const bat::Battery* battery_prototype = nullptr);
+
+/// Same-structure workload with every precedence edge removed — the
+/// paper's "near optimal schedule obtained by removing precedence
+/// constraints within the taskgraphs" reference for Figure 6.
+tg::TaskGraphSet strip_precedence(const tg::TaskGraphSet& set);
+
+/// Energy of the near-optimal reference: precedence stripped, laEDF,
+/// pUBS with a clairvoyant estimator over all released graphs.
+double near_optimal_energy_j(const tg::TaskGraphSet& set,
+                             const dvs::Processor& proc,
+                             const sim::SimConfig& config);
+
+}  // namespace bas::analysis

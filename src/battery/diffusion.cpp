@@ -1,0 +1,96 @@
+#include "battery/diffusion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bas::bat {
+
+DiffusionParams DiffusionParams::paper_aaa_nimh() {
+  DiffusionParams p;
+  p.alpha_c = to_coulombs(2000.0);
+  p.beta_squared = 4.0e-3;
+  p.series_terms = 10;
+  return p;
+}
+
+DiffusionBattery::DiffusionBattery(DiffusionParams params) : params_(params) {
+  if (!(params_.alpha_c > 0.0) || !(params_.beta_squared > 0.0) ||
+      params_.series_terms < 1) {
+    throw std::invalid_argument("DiffusionBattery: bad parameters");
+  }
+  s_m_.assign(static_cast<std::size_t>(params_.series_terms), 0.0);
+}
+
+bool DiffusionBattery::empty() const { return dead_; }
+
+double DiffusionBattery::unavailable_c() const {
+  double total = 0.0;
+  for (double s : s_m_) {
+    total += s;
+  }
+  return 2.0 * total;
+}
+
+double DiffusionBattery::apparent_charge_c() const {
+  return drawn_c_ + unavailable_c();
+}
+
+double DiffusionBattery::state_of_charge() const {
+  // Charge physically left in the cell, ignoring the transient term.
+  return std::max(0.0, 1.0 - drawn_c_ / params_.alpha_c);
+}
+
+std::unique_ptr<Battery> DiffusionBattery::fresh_clone() const {
+  return std::make_unique<DiffusionBattery>(params_);
+}
+
+double DiffusionBattery::sigma_after(double current_a, double t) const {
+  double sigma = drawn_c_ + current_a * t;
+  for (int m = 1; m <= params_.series_terms; ++m) {
+    const double rate = params_.beta_squared * m * m;
+    const double decay = std::exp(-rate * t);
+    const double s_prev = s_m_[static_cast<std::size_t>(m - 1)];
+    sigma += 2.0 * (s_prev * decay + current_a * (1.0 - decay) / rate);
+  }
+  return sigma;
+}
+
+void DiffusionBattery::advance(double current_a, double t) {
+  drawn_c_ += current_a * t;
+  for (int m = 1; m <= params_.series_terms; ++m) {
+    const double rate = params_.beta_squared * m * m;
+    const double decay = std::exp(-rate * t);
+    auto& s = s_m_[static_cast<std::size_t>(m - 1)];
+    s = s * decay + current_a * (1.0 - decay) / rate;
+  }
+}
+
+double DiffusionBattery::do_draw(double current_a, double dt_s) {
+  if (sigma_after(current_a, dt_s) < params_.alpha_c) {
+    advance(current_a, dt_s);
+    return dt_s;
+  }
+  // Cutoff inside the segment. While current flows, sigma is strictly
+  // increasing in t, so bisection finds the crossing.
+  double lo = 0.0;
+  double hi = dt_s;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (sigma_after(current_a, mid) < params_.alpha_c) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  advance(current_a, lo);
+  dead_ = true;
+  return lo;
+}
+
+void DiffusionBattery::do_reset() {
+  s_m_.assign(static_cast<std::size_t>(params_.series_terms), 0.0);
+  drawn_c_ = 0.0;
+  dead_ = false;
+}
+
+}  // namespace bas::bat

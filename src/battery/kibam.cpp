@@ -1,0 +1,86 @@
+#include "battery/kibam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bas::bat {
+
+KibamParams KibamParams::paper_aaa_nimh() {
+  KibamParams p;
+  p.capacity_c = to_coulombs(2000.0);  // 2000 mAh maximum capacity
+  p.c_fraction = 0.625;
+  p.k_rate = 4.5e-4;
+  return p;
+}
+
+KibamBattery::KibamBattery(KibamParams params) : params_(params) {
+  if (!(params_.capacity_c > 0.0) || !(params_.c_fraction > 0.0) ||
+      params_.c_fraction >= 1.0 || !(params_.k_rate > 0.0)) {
+    throw std::invalid_argument("KibamBattery: bad parameters");
+  }
+  do_reset();
+}
+
+bool KibamBattery::empty() const { return dead_; }
+
+double KibamBattery::state_of_charge() const {
+  return (y1_ + y2_) / params_.capacity_c;
+}
+
+std::unique_ptr<Battery> KibamBattery::fresh_clone() const {
+  return std::make_unique<KibamBattery>(params_);
+}
+
+double KibamBattery::y1_after(double current_a, double t) const {
+  const double k = params_.k_rate;
+  const double c = params_.c_fraction;
+  const double y0 = y1_ + y2_;
+  const double e = std::exp(-k * t);
+  // Manwell-McGowan closed form for constant current I over [0, t].
+  return y1_ * e + (y0 * k * c - current_a) * (1.0 - e) / k -
+         current_a * c * (k * t - 1.0 + e) / k;
+}
+
+double KibamBattery::y2_after(double current_a, double t) const {
+  const double k = params_.k_rate;
+  const double c = params_.c_fraction;
+  const double y0 = y1_ + y2_;
+  const double e = std::exp(-k * t);
+  return y2_ * e + y0 * (1.0 - c) * (1.0 - e) -
+         current_a * (1.0 - c) * (k * t - 1.0 + e) / k;
+}
+
+double KibamBattery::do_draw(double current_a, double dt_s) {
+  const double y1_end = y1_after(current_a, dt_s);
+  if (y1_end > 0.0) {
+    const double y2_end = y2_after(current_a, dt_s);
+    y1_ = y1_end;
+    y2_ = std::max(0.0, y2_end);
+    return dt_s;
+  }
+  // The available well empties inside this segment: bisect for the
+  // cutoff instant. y1_after is continuous with y1_after(0) = y1_ > 0.
+  double lo = 0.0;
+  double hi = dt_s;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (y1_after(current_a, mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double sustained = lo;
+  y2_ = std::max(0.0, y2_after(current_a, sustained));
+  y1_ = 0.0;
+  dead_ = true;
+  return sustained;
+}
+
+void KibamBattery::do_reset() {
+  y1_ = params_.c_fraction * params_.capacity_c;
+  y2_ = (1.0 - params_.c_fraction) * params_.capacity_c;
+  dead_ = false;
+}
+
+}  // namespace bas::bat

@@ -1,0 +1,38 @@
+#include "battery/lifetime.hpp"
+
+namespace bas::bat {
+
+LifetimeResult lifetime_under_profile(const Battery& prototype,
+                                      const LoadProfile& profile,
+                                      double max_time_s) {
+  const auto battery = prototype.fresh_clone();
+  const double survived = profile.discharge_repeating(*battery, max_time_s);
+  LifetimeResult result;
+  result.lifetime_s = survived;
+  result.delivered_c = battery->charge_delivered_c();
+  result.died = battery->empty();
+  return result;
+}
+
+std::vector<RateCapacityPoint> rate_capacity_curve(
+    const Battery& prototype, const std::vector<double>& loads_a,
+    double max_time_s) {
+  std::vector<RateCapacityPoint> curve;
+  curve.reserve(loads_a.size());
+  for (double load : loads_a) {
+    const auto result = lifetime_under_profile(
+        prototype, LoadProfile::constant(load, 1.0), max_time_s);
+    curve.push_back(RateCapacityPoint{load, result.delivered_mah(),
+                                      result.lifetime_min()});
+  }
+  return curve;
+}
+
+double max_capacity_mah(const Battery& prototype, double probe_current_a,
+                        double max_time_s) {
+  const auto result = lifetime_under_profile(
+      prototype, LoadProfile::constant(probe_current_a, 1.0), max_time_s);
+  return result.delivered_mah();
+}
+
+}  // namespace bas::bat

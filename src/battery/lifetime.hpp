@@ -1,0 +1,50 @@
+#pragma once
+// Battery lifetime estimation utilities: running profiles to cutoff,
+// rate-capacity curves ("load vs delivered capacity", paper §5), and the
+// maximum-capacity extrapolation the paper describes.
+
+#include <vector>
+
+#include "battery/model.hpp"
+#include "battery/profile.hpp"
+
+namespace bas::bat {
+
+struct LifetimeResult {
+  /// Time until cutoff (s); equals the cap when the cell outlived it.
+  double lifetime_s = 0.0;
+  /// Charge delivered until cutoff (C).
+  double delivered_c = 0.0;
+  /// True when the battery actually hit cutoff (vs. cap reached).
+  bool died = false;
+
+  double lifetime_min() const { return lifetime_s / 60.0; }
+  double delivered_mah() const { return to_mah(delivered_c); }
+};
+
+/// Repeats `profile` into a fresh clone of `prototype` until cutoff or
+/// `max_time_s`. The prototype itself is not modified.
+LifetimeResult lifetime_under_profile(const Battery& prototype,
+                                      const LoadProfile& profile,
+                                      double max_time_s = 1.0e7);
+
+/// One (load, delivered-capacity) point of the rate-capacity curve.
+struct RateCapacityPoint {
+  double load_a = 0.0;
+  double delivered_mah = 0.0;
+  double lifetime_min = 0.0;
+};
+
+/// Discharges a fresh clone at each constant load and records delivered
+/// capacity — the curve whose two extrapolated ends define the paper's
+/// "maximum capacity" (I -> 0) and the available-well charge (I -> inf).
+std::vector<RateCapacityPoint> rate_capacity_curve(
+    const Battery& prototype, const std::vector<double>& loads_a,
+    double max_time_s = 1.0e7);
+
+/// Delivered capacity (mAh) under a near-infinitesimal load — the
+/// empirical "maximum capacity" anchor (defaults to a C/100-like 20 mA).
+double max_capacity_mah(const Battery& prototype, double probe_current_a = 0.02,
+                        double max_time_s = 1.0e7);
+
+}  // namespace bas::bat

@@ -1,0 +1,48 @@
+#include "battery/peukert.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bas::bat {
+
+PeukertBattery::PeukertBattery(PeukertParams params) : params_(params) {
+  if (!(params_.capacity_c > 0.0) || params_.exponent < 1.0 ||
+      !(params_.reference_current_a > 0.0)) {
+    throw std::invalid_argument("PeukertBattery: bad parameters");
+  }
+}
+
+bool PeukertBattery::empty() const {
+  return consumed_c_ >= params_.capacity_c;
+}
+
+double PeukertBattery::state_of_charge() const {
+  return 1.0 - consumed_c_ / params_.capacity_c;
+}
+
+std::unique_ptr<Battery> PeukertBattery::fresh_clone() const {
+  return std::make_unique<PeukertBattery>(params_);
+}
+
+double PeukertBattery::do_draw(double current_a, double dt_s) {
+  if (current_a <= 0.0) {
+    return dt_s;  // Peukert has no recovery; idling is simply free
+  }
+  // Effective drain rate (C/s), >= the physical current for I > Iref.
+  const double ratio =
+      std::max(1.0, current_a / params_.reference_current_a);
+  const double rate =
+      current_a * std::pow(ratio, params_.exponent - 1.0);
+  const double head_room = params_.capacity_c - consumed_c_;
+  if (rate * dt_s <= head_room) {
+    consumed_c_ += rate * dt_s;
+    return dt_s;
+  }
+  const double sustained = head_room / rate;
+  consumed_c_ = params_.capacity_c;
+  return sustained;
+}
+
+void PeukertBattery::do_reset() { consumed_c_ = 0.0; }
+
+}  // namespace bas::bat

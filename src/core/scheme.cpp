@@ -1,0 +1,95 @@
+#include "core/scheme.hpp"
+
+#include <stdexcept>
+
+namespace bas::core {
+
+void Scheme::reset() {
+  if (dvs) {
+    dvs->reset();
+  }
+  if (priority) {
+    priority->reset();
+  }
+  if (estimator) {
+    estimator->reset();
+  }
+}
+
+std::string to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kEdfNoDvs:
+      return "EDF";
+    case SchemeKind::kCcEdfRandom:
+      return "ccEDF";
+    case SchemeKind::kLaEdfRandom:
+      return "laEDF";
+    case SchemeKind::kBas1:
+      return "BAS-1";
+    case SchemeKind::kBas2:
+      return "BAS-2";
+  }
+  throw std::logic_error("to_string: unknown SchemeKind");
+}
+
+std::vector<SchemeKind> table2_schemes() {
+  return {SchemeKind::kEdfNoDvs, SchemeKind::kCcEdfRandom,
+          SchemeKind::kLaEdfRandom, SchemeKind::kBas1, SchemeKind::kBas2};
+}
+
+Scheme make_scheme(SchemeKind kind, double fmax_hz, std::uint64_t seed) {
+  Scheme s;
+  s.name = to_string(kind);
+  switch (kind) {
+    case SchemeKind::kEdfNoDvs:
+      s.dvs = dvs::make_no_dvs(fmax_hz);
+      s.priority = sched::make_random_priority(seed);
+      s.estimator = sched::make_history_estimator();
+      s.scope = ReadyScope::kMostImminent;
+      break;
+    case SchemeKind::kCcEdfRandom:
+      s.dvs = dvs::make_cc_edf(fmax_hz);
+      s.priority = sched::make_random_priority(seed);
+      s.estimator = sched::make_history_estimator();
+      s.scope = ReadyScope::kMostImminent;
+      break;
+    case SchemeKind::kLaEdfRandom:
+      s.dvs = dvs::make_la_edf(fmax_hz);
+      s.priority = sched::make_random_priority(seed);
+      s.estimator = sched::make_history_estimator();
+      s.scope = ReadyScope::kMostImminent;
+      break;
+    case SchemeKind::kBas1:
+      s.dvs = dvs::make_la_edf(fmax_hz);
+      s.priority = sched::make_pubs_priority();
+      s.estimator = sched::make_history_estimator();
+      s.scope = ReadyScope::kMostImminent;
+      break;
+    case SchemeKind::kBas2:
+      s.dvs = dvs::make_la_edf(fmax_hz);
+      s.priority = sched::make_pubs_priority();
+      s.estimator = sched::make_history_estimator();
+      s.scope = ReadyScope::kAllReleased;
+      break;
+  }
+  return s;
+}
+
+Scheme make_custom_scheme(std::string name,
+                          std::unique_ptr<dvs::DvsPolicy> dvs,
+                          std::unique_ptr<sched::PriorityPolicy> priority,
+                          std::unique_ptr<sched::Estimator> estimator,
+                          ReadyScope scope) {
+  if (!dvs || !priority || !estimator) {
+    throw std::invalid_argument("make_custom_scheme: null component");
+  }
+  Scheme s;
+  s.name = std::move(name);
+  s.dvs = std::move(dvs);
+  s.priority = std::move(priority);
+  s.estimator = std::move(estimator);
+  s.scope = scope;
+  return s;
+}
+
+}  // namespace bas::core

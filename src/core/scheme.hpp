@@ -1,0 +1,69 @@
+#pragma once
+// Scheduling schemes — the paper's contribution as a composable object.
+//
+// A Scheme is the full scheduling behaviour of Table 2's rows: a DVS
+// frequency-setting algorithm, a priority function over ready tasks, the
+// estimator feeding that priority, the ready-list scope, and whether the
+// out-of-EDF-order feasibility guard is engaged. The methodology's
+// promise (§4): any DVS algorithm and any priority function compose
+// without deadline violations.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dvs/policy.hpp"
+#include "sched/estimator.hpp"
+#include "sched/priority.hpp"
+
+namespace bas::core {
+
+/// Which tasks populate the ready list (§4.2).
+enum class ReadyScope {
+  /// Ready nodes of the released graph with the most imminent deadline
+  /// only — always EDF-safe, no checks needed (BAS-1).
+  kMostImminent,
+  /// Ready nodes of all released graphs, guarded per-candidate by the
+  /// Algorithm 2 feasibility check (BAS-2).
+  kAllReleased,
+};
+
+struct Scheme {
+  std::string name;
+  std::unique_ptr<dvs::DvsPolicy> dvs;
+  std::unique_ptr<sched::PriorityPolicy> priority;
+  std::unique_ptr<sched::Estimator> estimator;
+  ReadyScope scope = ReadyScope::kMostImminent;
+
+  /// Resets all stateful components for a fresh run.
+  void reset();
+};
+
+/// The named schemes of Table 2.
+enum class SchemeKind {
+  kEdfNoDvs,     // "EDF":  no DVS, random order, most imminent
+  kCcEdfRandom,  // "Cycle Conserving": ccEDF, random order
+  kLaEdfRandom,  // "Look Ahead": laEDF, random order
+  kBas1,         // laEDF + pUBS on the most imminent graph
+  kBas2,         // laEDF + pUBS on all released graphs + feasibility
+};
+
+std::string to_string(SchemeKind kind);
+
+/// All five Table 2 rows in the paper's order.
+std::vector<SchemeKind> table2_schemes();
+
+/// Builds a named scheme. `seed` feeds the random priority (where used);
+/// estimators default to the history EMA the paper suggests.
+Scheme make_scheme(SchemeKind kind, double fmax_hz, std::uint64_t seed = 1);
+
+/// Fully custom composition — the "can be used with little or no changes
+/// with any frequency setting algorithm and any priority function" API.
+Scheme make_custom_scheme(std::string name,
+                          std::unique_ptr<dvs::DvsPolicy> dvs,
+                          std::unique_ptr<sched::PriorityPolicy> priority,
+                          std::unique_ptr<sched::Estimator> estimator,
+                          ReadyScope scope);
+
+}  // namespace bas::core

@@ -1,0 +1,85 @@
+#include "dvs/clamped.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace bas::dvs {
+
+namespace {
+
+class ClampedDvs final : public DvsPolicy {
+ public:
+  explicit ClampedDvs(std::unique_ptr<DvsPolicy> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name() + "+clamp"; }
+
+  double select(std::span<const GraphStatus> graphs, double now) override {
+    // Re-arm on any new release: a graph's absolute deadline moving
+    // forward means a fresh instance arrived.
+    if (deadlines_.size() != graphs.size()) {
+      deadlines_.assign(graphs.size(), -1.0);
+    }
+    bool new_release = false;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      if (graphs[i].abs_deadline_s > deadlines_[i]) {
+        deadlines_[i] = graphs[i].abs_deadline_s;
+        new_release = true;
+      }
+    }
+    if (new_release) {
+      level_ = std::numeric_limits<double>::infinity();
+    }
+
+    // EDF demand floor: the minimal frequency that keeps every deadline
+    // worst-case safe, max over prefix demand of the EDF order.
+    std::vector<const GraphStatus*> active;
+    for (const auto& g : graphs) {
+      if (g.remaining_wc_cycles > 0.0) {
+        active.push_back(&g);
+      }
+    }
+    std::sort(active.begin(), active.end(),
+              [](const GraphStatus* a, const GraphStatus* b) {
+                return a->abs_deadline_s < b->abs_deadline_s;
+              });
+    double floor = 0.0;
+    double prefix_cycles = 0.0;
+    for (const GraphStatus* g : active) {
+      prefix_cycles += g->remaining_wc_cycles;
+      const double window = g->abs_deadline_s - now;
+      if (window <= 0.0) {
+        floor = std::numeric_limits<double>::infinity();
+        break;
+      }
+      floor = std::max(floor, prefix_cycles / window);
+    }
+
+    const double wanted = inner_->select(graphs, now);
+    // Never rise above the committed level except when the deadline
+    // floor forces it; never fall below the floor.
+    level_ = std::max(std::min(level_, wanted), floor);
+    return level_;
+  }
+
+  void reset() override {
+    inner_->reset();
+    level_ = std::numeric_limits<double>::infinity();
+    deadlines_.clear();
+  }
+
+ private:
+  std::unique_ptr<DvsPolicy> inner_;
+  double level_ = std::numeric_limits<double>::infinity();
+  std::vector<double> deadlines_;
+};
+
+}  // namespace
+
+std::unique_ptr<DvsPolicy> make_profile_clamped(
+    std::unique_ptr<DvsPolicy> inner) {
+  return std::make_unique<ClampedDvs>(std::move(inner));
+}
+
+}  // namespace bas::dvs

@@ -1,0 +1,31 @@
+#pragma once
+// Profile-clamped DVS decorator — Guideline 1 enforced at the DVS level.
+//
+// ccEDF/laEDF already yield *locally* non-increasing frequencies (slack
+// only lowers fref until the next release pops it back up). This
+// decorator goes further: within one busy interval it never lets fref
+// rise above the level already committed, even if the inner policy asks
+// for more, re-arming only when the system goes idle or a new instance
+// is released. It is our ablation of "how much of BAS's battery win is
+// the profile shape vs the energy total" — clamping trades a little
+// deadline margin for a smoother profile, and is only safe on top of a
+// policy that already over-provisions (it clamps to no lower than the
+// inner policy's just-in-time minimum across the earliest deadline, so
+// deadline guarantees are preserved; see ClampedDvs::select).
+
+#include <memory>
+
+#include "dvs/policy.hpp"
+
+namespace bas::dvs {
+
+/// Wraps `inner`; returns min(inner's fref history high-water mark
+/// since the last re-arm, inner's current fref) but never below the
+/// work-conserving floor required by the earliest deadline:
+///     floor = remaining_wc(most imminent) / (d_imminent - now).
+/// Re-arms (forgets the clamp) whenever a new release is detected
+/// (any graph's deadline moved forward) or everything is complete.
+std::unique_ptr<DvsPolicy> make_profile_clamped(
+    std::unique_ptr<DvsPolicy> inner);
+
+}  // namespace bas::dvs

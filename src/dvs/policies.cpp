@@ -1,0 +1,150 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dvs/policy.hpp"
+
+namespace bas::dvs {
+
+namespace {
+
+/// Always-fmax baseline (Table 2's "EDF" row: no DVS at all).
+class NoDvs final : public DvsPolicy {
+ public:
+  explicit NoDvs(double fmax_hz) : fmax_hz_(fmax_hz) {}
+  std::string name() const override { return "noDVS"; }
+  double select(std::span<const GraphStatus> /*graphs*/,
+                double /*now*/) override {
+    return fmax_hz_;
+  }
+
+ private:
+  double fmax_hz_;
+};
+
+/// fref = U * fmax with U the static worst-case utilization. Never
+/// benefits from early completions; serves as an ablation baseline.
+class StaticDvs final : public DvsPolicy {
+ public:
+  explicit StaticDvs(double fmax_hz) : fmax_hz_(fmax_hz) {}
+  std::string name() const override { return "staticDVS"; }
+  double select(std::span<const GraphStatus> graphs,
+                double /*now*/) override {
+    double cycles_per_second = 0.0;
+    for (const auto& g : graphs) {
+      cycles_per_second += g.wc_total_cycles / g.period_s;
+    }
+    return std::min(cycles_per_second, fmax_hz_);
+  }
+
+ private:
+  double fmax_hz_;
+};
+
+/// Cycle-conserving EDF for task graphs — the paper's Algorithm 1.
+///
+///   upon release(Ti):       WCi = sum(wc_ij);        select_frequency()
+///   upon endofnode(Ti,j):   WCi = WCi + ac_ij - wc_ij; select_frequency()
+///   select_frequency():     U = sum(WCi / Di); fref = U * fmax
+///
+/// The WCi bookkeeping lives in the simulator (GraphStatus::cc_wc_cycles);
+/// this class is purely the select_frequency() step, so the same status
+/// snapshot can also feed laEDF and the feasibility check.
+class CcEdf final : public DvsPolicy {
+ public:
+  explicit CcEdf(double fmax_hz) : fmax_hz_(fmax_hz) {}
+  std::string name() const override { return "ccEDF"; }
+  double select(std::span<const GraphStatus> graphs,
+                double /*now*/) override {
+    double cycles_per_second = 0.0;
+    for (const auto& g : graphs) {
+      cycles_per_second += g.cc_wc_cycles / g.period_s;
+    }
+    return std::min(cycles_per_second, fmax_hz_);
+  }
+
+ private:
+  double fmax_hz_;
+};
+
+/// Look-ahead EDF (Pillai & Shin) lifted to graph instances: each graph's
+/// current instance acts as one EDF task with remaining worst-case work
+/// c_left = GraphStatus::remaining_wc_cycles and deadline abs_deadline_s.
+///
+/// defer() walks instances from the latest deadline to the earliest,
+/// pushing as much of each instance's work as possible past the earliest
+/// deadline dn (bounded by the spare utilization (1 - U) available in
+/// [dn, di]), and accumulates in `s` the cycles that *must* run before
+/// dn. The frequency is then s / (dn - now).
+class LaEdf final : public DvsPolicy {
+ public:
+  explicit LaEdf(double fmax_hz) : fmax_hz_(fmax_hz) {}
+  std::string name() const override { return "laEDF"; }
+
+  double select(std::span<const GraphStatus> graphs, double now) override {
+    constexpr double kEps = 1e-12;
+    std::vector<const GraphStatus*> active;
+    active.reserve(graphs.size());
+    double total_util = 0.0;
+    for (const auto& g : graphs) {
+      total_util += g.wc_total_cycles / (fmax_hz_ * g.period_s);
+      if (g.remaining_wc_cycles > kEps) {
+        active.push_back(&g);
+      }
+    }
+    if (active.empty()) {
+      return 0.0;
+    }
+    std::sort(active.begin(), active.end(),
+              [](const GraphStatus* a, const GraphStatus* b) {
+                if (a->abs_deadline_s != b->abs_deadline_s) {
+                  return a->abs_deadline_s > b->abs_deadline_s;  // latest 1st
+                }
+                return a->graph > b->graph;
+              });
+    const double dn = active.back()->abs_deadline_s;
+    if (dn - now <= kEps) {
+      return fmax_hz_;  // at/past the earliest deadline: flat out
+    }
+    double u = total_util;
+    double must_run_cycles = 0.0;
+    for (const GraphStatus* g : active) {
+      u -= g->wc_total_cycles / (fmax_hz_ * g->period_s);
+      const double horizon_s = g->abs_deadline_s - dn;
+      // Cycles of this instance that cannot be deferred past dn: its
+      // remaining work minus what the spare bandwidth (1 - u) * fmax can
+      // absorb between dn and its own deadline.
+      const double deferrable =
+          std::max(0.0, (1.0 - u) * fmax_hz_ * horizon_s);
+      const double x = std::max(0.0, g->remaining_wc_cycles - deferrable);
+      if (horizon_s > kEps) {
+        u += (g->remaining_wc_cycles - x) / (fmax_hz_ * horizon_s);
+      }
+      must_run_cycles += x;
+    }
+    return std::min(must_run_cycles / (dn - now), fmax_hz_);
+  }
+
+ private:
+  double fmax_hz_;
+};
+
+}  // namespace
+
+std::unique_ptr<DvsPolicy> make_no_dvs(double fmax_hz) {
+  return std::make_unique<NoDvs>(fmax_hz);
+}
+
+std::unique_ptr<DvsPolicy> make_static_dvs(double fmax_hz) {
+  return std::make_unique<StaticDvs>(fmax_hz);
+}
+
+std::unique_ptr<DvsPolicy> make_cc_edf(double fmax_hz) {
+  return std::make_unique<CcEdf>(fmax_hz);
+}
+
+std::unique_ptr<DvsPolicy> make_la_edf(double fmax_hz) {
+  return std::make_unique<LaEdf>(fmax_hz);
+}
+
+}  // namespace bas::dvs

@@ -1,0 +1,125 @@
+#include "sched/estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace bas::sched {
+
+namespace {
+
+class WorstCaseEstimator final : public Estimator {
+ public:
+  std::string name() const override { return "worst-case"; }
+  double estimate(int, tg::NodeId, double wc_cycles, double) override {
+    return wc_cycles;
+  }
+};
+
+class MeanFractionEstimator final : public Estimator {
+ public:
+  explicit MeanFractionEstimator(double fraction) : fraction_(fraction) {
+    if (!(fraction > 0.0) || fraction > 1.0) {
+      throw std::invalid_argument(
+          "MeanFractionEstimator: fraction must be in (0, 1]");
+    }
+  }
+  std::string name() const override { return "mean-fraction"; }
+  double estimate(int, tg::NodeId, double wc_cycles, double) override {
+    return fraction_ * wc_cycles;
+  }
+
+ private:
+  double fraction_;
+};
+
+class HistoryEstimator final : public Estimator {
+ public:
+  explicit HistoryEstimator(double alpha) : alpha_(alpha) {
+    if (!(alpha > 0.0) || alpha > 1.0) {
+      throw std::invalid_argument(
+          "HistoryEstimator: alpha must be in (0, 1]");
+    }
+  }
+  std::string name() const override { return "history-ema"; }
+
+  double estimate(int graph, tg::NodeId node, double wc_cycles,
+                  double) override {
+    const auto it = ema_.find({graph, node});
+    if (it == ema_.end()) {
+      return 0.6 * wc_cycles;  // prior: mean of U(0.2, 1.0)
+    }
+    return it->second;
+  }
+
+  void observe(int graph, tg::NodeId node, double actual_cycles) override {
+    auto [it, inserted] = ema_.try_emplace({graph, node}, actual_cycles);
+    if (!inserted) {
+      it->second = alpha_ * actual_cycles + (1.0 - alpha_) * it->second;
+    }
+  }
+
+  void reset() override { ema_.clear(); }
+
+ private:
+  double alpha_;
+  std::map<std::pair<int, tg::NodeId>, double> ema_;
+};
+
+class OracleEstimator final : public Estimator {
+ public:
+  std::string name() const override { return "oracle"; }
+  double estimate(int, tg::NodeId, double, double actual_cycles) override {
+    return actual_cycles;
+  }
+};
+
+class NoisyOracleEstimator final : public Estimator {
+ public:
+  NoisyOracleEstimator(double rel_noise, std::uint64_t seed)
+      : rel_noise_(rel_noise), seed_(seed), rng_(seed) {
+    if (rel_noise < 0.0 || rel_noise >= 1.0) {
+      throw std::invalid_argument(
+          "NoisyOracleEstimator: rel_noise must be in [0, 1)");
+    }
+  }
+  std::string name() const override { return "noisy-oracle"; }
+  double estimate(int, tg::NodeId, double wc_cycles,
+                  double actual_cycles) override {
+    const double noisy =
+        actual_cycles * (1.0 + rng_.uniform(-rel_noise_, rel_noise_));
+    return std::clamp(noisy, 1.0, wc_cycles);
+  }
+  void reset() override { rng_ = util::Rng(seed_); }
+
+ private:
+  double rel_noise_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<Estimator> make_worst_case_estimator() {
+  return std::make_unique<WorstCaseEstimator>();
+}
+
+std::unique_ptr<Estimator> make_mean_fraction_estimator(double fraction) {
+  return std::make_unique<MeanFractionEstimator>(fraction);
+}
+
+std::unique_ptr<Estimator> make_history_estimator(double alpha) {
+  return std::make_unique<HistoryEstimator>(alpha);
+}
+
+std::unique_ptr<Estimator> make_oracle_estimator() {
+  return std::make_unique<OracleEstimator>();
+}
+
+std::unique_ptr<Estimator> make_noisy_oracle_estimator(double rel_noise,
+                                                       std::uint64_t seed) {
+  return std::make_unique<NoisyOracleEstimator>(rel_noise, seed);
+}
+
+}  // namespace bas::sched

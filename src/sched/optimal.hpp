@@ -1,0 +1,64 @@
+#pragma once
+// Single-graph scheduling with known actual computations: order
+// evaluation, greedy scheduling with a priority policy, and the
+// exhaustive-optimal search (branch & bound) used as the normalizer of
+// the paper's Table 1.
+//
+// Setting: one task graph, all nodes share the graph's deadline D; at
+// every task start the frequency is set to remaining-worst-case / time-
+// to-deadline (ccEDF restricted to a single graph) and realized on the
+// processor. Slack from tasks finishing under their wc is thus recovered
+// by all later tasks — how much depends on the order, which is the
+// quantity being optimized. Scheduling even one graph optimally is
+// NP-hard (Lawler [6]), hence the branch & bound with a node budget.
+
+#include <cstdint>
+#include <vector>
+
+#include "dvs/processor.hpp"
+#include "sched/estimator.hpp"
+#include "sched/priority.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace bas::sched {
+
+struct SingleGraphResult {
+  std::vector<tg::NodeId> order;
+  double energy_j = 0.0;
+  double finish_time_s = 0.0;
+  /// Optimal search only: true when the search completed within budget
+  /// (the result is provably optimal), false when the incumbent is only
+  /// the best found.
+  bool exact = true;
+  /// Search nodes explored (optimal search only).
+  std::uint64_t explored = 0;
+};
+
+/// Executes `order` (validated topological) with the given per-node
+/// actual cycles. Throws std::invalid_argument on a non-topological
+/// order or mismatched actuals size.
+SingleGraphResult evaluate_order(const tg::TaskGraph& graph,
+                                 const std::vector<double>& actual_cycles,
+                                 const dvs::Processor& proc,
+                                 const std::vector<tg::NodeId>& order);
+
+/// Greedy run: at each step score all ready nodes with `priority`
+/// (estimates from `estimator`) and run the best. This is the paper's
+/// single-graph scheduling procedure for pUBS/LTF/STF/Random.
+SingleGraphResult greedy_schedule(const tg::TaskGraph& graph,
+                                  const std::vector<double>& actual_cycles,
+                                  const dvs::Processor& proc,
+                                  PriorityPolicy& priority,
+                                  Estimator& estimator);
+
+/// Exhaustive-optimal energy schedule by depth-first branch & bound over
+/// topological orders with an admissible clairvoyant lower bound and a
+/// per-completed-set Pareto memo. Graphs are limited to 64 nodes.
+/// `node_budget` caps explored search nodes; on exhaustion the best
+/// incumbent is returned with exact == false.
+SingleGraphResult optimal_schedule(const tg::TaskGraph& graph,
+                                   const std::vector<double>& actual_cycles,
+                                   const dvs::Processor& proc,
+                                   std::uint64_t node_budget = 20'000'000);
+
+}  // namespace bas::sched

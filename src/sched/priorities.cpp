@@ -1,0 +1,105 @@
+#include <limits>
+
+#include "sched/priority.hpp"
+
+namespace bas::sched {
+
+namespace {
+
+class PubsPriority final : public PriorityPolicy {
+ public:
+  std::string name() const override { return "pUBS"; }
+
+  double score(const Candidate& cand, double now) override {
+    constexpr double kEps = 1e-12;
+    const double time_left = cand.graph_abs_deadline_s - now;
+    if (time_left <= kEps) {
+      return -std::numeric_limits<double>::infinity();  // run immediately
+    }
+    // Speed after the current partial order: all remaining worst case
+    // by the deadline.
+    const double s_o = cand.graph_remaining_wc_cycles / time_left;
+    if (s_o <= kEps) {
+      return std::numeric_limits<double>::infinity();
+    }
+    // Run τk next at s_o for its estimated Xk cycles...
+    const double x_k = cand.estimate_cycles;
+    const double t_after = time_left - x_k / s_o;
+    const double rem_after = cand.graph_remaining_wc_cycles - cand.wc_cycles;
+    if (t_after <= kEps) {
+      // Estimate fills (or overfills) the window; no recovery possible.
+      return std::numeric_limits<double>::max();
+    }
+    // ...then the speed needed for what is left.
+    const double s_ok = rem_after / t_after;
+    const double denom = s_o * s_o - s_ok * s_ok;
+    if (denom <= kEps * s_o * s_o) {
+      // Xk == wc_k (or worse estimate): zero expected recovery. Order
+      // these after every task with genuine recovery, larger Xk last.
+      return 0.5 * std::numeric_limits<double>::max() *
+             (x_k / (x_k + cand.wc_cycles + 1.0));
+    }
+    return x_k / denom;
+  }
+};
+
+class LtfPriority final : public PriorityPolicy {
+ public:
+  std::string name() const override { return "LTF"; }
+  double score(const Candidate& cand, double) override {
+    return -cand.wc_cycles;
+  }
+};
+
+class StfPriority final : public PriorityPolicy {
+ public:
+  std::string name() const override { return "STF"; }
+  double score(const Candidate& cand, double) override {
+    return cand.wc_cycles;
+  }
+};
+
+class RandomPriority final : public PriorityPolicy {
+ public:
+  explicit RandomPriority(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  std::string name() const override { return "Random"; }
+  double score(const Candidate&, double) override { return rng_.uniform(); }
+  void reset() override { rng_ = util::Rng(seed_); }
+
+ private:
+  std::uint64_t seed_;
+  util::Rng rng_;
+};
+
+class FifoPriority final : public PriorityPolicy {
+ public:
+  std::string name() const override { return "FIFO"; }
+  double score(const Candidate& cand, double) override {
+    return static_cast<double>(cand.graph) * 1.0e6 +
+           static_cast<double>(cand.node);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PriorityPolicy> make_pubs_priority() {
+  return std::make_unique<PubsPriority>();
+}
+
+std::unique_ptr<PriorityPolicy> make_ltf_priority() {
+  return std::make_unique<LtfPriority>();
+}
+
+std::unique_ptr<PriorityPolicy> make_stf_priority() {
+  return std::make_unique<StfPriority>();
+}
+
+std::unique_ptr<PriorityPolicy> make_random_priority(std::uint64_t seed) {
+  return std::make_unique<RandomPriority>(seed);
+}
+
+std::unique_ptr<PriorityPolicy> make_fifo_priority() {
+  return std::make_unique<FifoPriority>();
+}
+
+}  // namespace bas::sched

@@ -1,0 +1,406 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "dvs/realizer.hpp"
+#include "sched/feasibility.hpp"
+#include "util/rng.hpp"
+
+namespace bas::sim {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kCycleEps = 0.5;  // cycles; completion snap threshold
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct NodeRt {
+  double wc = 0.0;
+  double ac = 0.0;
+  double remaining_ac = 0.0;
+  int pending_preds = 0;
+  bool done = false;
+
+  double executed() const { return ac - remaining_ac; }
+};
+
+struct InstanceRt {
+  std::uint32_t number = 0;
+  double release_s = 0.0;
+  double deadline_s = 0.0;
+  std::vector<NodeRt> nodes;
+  std::size_t done_count = 0;
+  /// Paper's WCi: Σ ac(done) + Σ wc(pending).
+  double cc_wc = 0.0;
+  /// Σ over incomplete nodes of (wc − executed cycles).
+  double remaining_wc = 0.0;
+
+  bool complete() const { return done_count == nodes.size(); }
+};
+
+double draw_actual(const SimConfig& cfg, int graph, std::uint32_t instance,
+                   tg::NodeId node, double wc) {
+  std::uint64_t key = util::Rng::hash_combine(cfg.seed, 0x7a5c0ffeULL);
+  key = util::Rng::hash_combine(key, static_cast<std::uint64_t>(graph));
+  key = util::Rng::hash_combine(key, node);
+  if (cfg.ac_model == AcModel::kIid) {
+    key = util::Rng::hash_combine(key, 0xabcd0000ULL + instance);
+    util::Rng rng(key);
+    return wc * rng.uniform(cfg.ac_lo_frac, cfg.ac_hi_frac);
+  }
+  // Persistent per-node mean (instance-independent key) plus jitter.
+  util::Rng mean_rng(key);
+  const double mean = mean_rng.uniform(cfg.ac_lo_frac, cfg.ac_hi_frac);
+  util::Rng jitter_rng(
+      util::Rng::hash_combine(key, 0xabcd0000ULL + instance));
+  const double frac =
+      std::clamp(mean + jitter_rng.uniform(-cfg.ac_jitter, cfg.ac_jitter),
+                 cfg.ac_lo_frac, cfg.ac_hi_frac);
+  return wc * frac;
+}
+
+}  // namespace
+
+Simulator::Simulator(const tg::TaskGraphSet& set, const dvs::Processor& proc,
+                     core::Scheme& scheme, SimConfig config)
+    : set_(set), proc_(proc), scheme_(scheme), config_(config) {
+  set_.validate();
+  if (!(config_.horizon_s > 0.0)) {
+    throw std::invalid_argument("Simulator: horizon must be positive");
+  }
+  if (!(config_.ac_lo_frac > 0.0) || config_.ac_hi_frac > 1.0 ||
+      config_.ac_hi_frac < config_.ac_lo_frac) {
+    throw std::invalid_argument("Simulator: bad actual-computation range");
+  }
+  if (!scheme_.dvs || !scheme_.priority || !scheme_.estimator) {
+    throw std::invalid_argument("Simulator: scheme has null components");
+  }
+}
+
+SimResult Simulator::run(bat::Battery* battery) {
+  scheme_.reset();
+  if (battery != nullptr) {
+    battery->reset();
+  }
+
+  SimResult res;
+  res.battery_attached = battery != nullptr;
+  const int n_graphs = static_cast<int>(set_.size());
+  std::vector<InstanceRt> inst(static_cast<std::size_t>(n_graphs));
+  std::vector<std::uint32_t> released_count(
+      static_cast<std::size_t>(n_graphs), 0);
+
+  double t = 0.0;
+  bool battery_dead = false;
+  double last_busy_current = kInf;
+
+  auto next_release_time = [&](int g) -> double {
+    const double when = static_cast<double>(released_count[g]) *
+                        set_.graph(static_cast<std::size_t>(g)).period();
+    return when < config_.horizon_s - kEps ? when : kInf;
+  };
+
+  auto earliest_release = [&]() -> double {
+    double best = kInf;
+    for (int g = 0; g < n_graphs; ++g) {
+      best = std::min(best, next_release_time(g));
+    }
+    return best;
+  };
+
+  auto release_instance = [&](int g) {
+    auto& ir = inst[static_cast<std::size_t>(g)];
+    const auto& graph = set_.graph(static_cast<std::size_t>(g));
+    if (released_count[g] > 0 && !ir.complete()) {
+      ++res.deadline_misses;  // previous instance overran its period
+    }
+    ir.number = released_count[g];
+    ir.release_s = static_cast<double>(ir.number) * graph.period();
+    ir.deadline_s = ir.release_s + graph.deadline();
+    ir.nodes.assign(graph.node_count(), NodeRt{});
+    ir.done_count = 0;
+    double total_wc = 0.0;
+    for (tg::NodeId id = 0; id < graph.node_count(); ++id) {
+      auto& nr = ir.nodes[id];
+      nr.wc = graph.node(id).wcet_cycles;
+      nr.ac = draw_actual(config_, g, ir.number, id, nr.wc);
+      nr.remaining_ac = nr.ac;
+      nr.pending_preds = static_cast<int>(graph.predecessors(id).size());
+      nr.done = false;
+      total_wc += nr.wc;
+    }
+    ir.cc_wc = total_wc;
+    ir.remaining_wc = total_wc;
+    ++released_count[g];
+    ++res.instances_released;
+  };
+
+  // Draws `current_a` for `dt`, updating the battery, profile and
+  // accounting. Returns the sustained duration (== dt unless the
+  // battery died inside the interval).
+  auto consume = [&](double current_a, double dt) -> double {
+    double sustained = dt;
+    if (battery != nullptr && !battery_dead) {
+      sustained = battery->draw(current_a, dt);
+      if (battery->empty()) {
+        battery_dead = true;
+        res.battery_died = true;
+      }
+    }
+    if (config_.record_profile && sustained > 0.0) {
+      res.profile.add(sustained, current_a);
+    }
+    res.charge_c += current_a * sustained;
+    return sustained;
+  };
+
+  while (true) {
+    // ---- 1. process due releases ------------------------------------
+    for (int g = 0; g < n_graphs; ++g) {
+      while (next_release_time(g) <= t + kEps) {
+        release_instance(g);
+      }
+    }
+
+    if (!config_.drain && t >= config_.horizon_s - kEps) {
+      break;
+    }
+    if (battery_dead && config_.stop_when_battery_empty) {
+      break;
+    }
+
+    // ---- 2. status snapshot ------------------------------------------
+    std::vector<dvs::GraphStatus> statuses(
+        static_cast<std::size_t>(n_graphs));
+    for (int g = 0; g < n_graphs; ++g) {
+      const auto& graph = set_.graph(static_cast<std::size_t>(g));
+      const auto& ir = inst[static_cast<std::size_t>(g)];
+      auto& st = statuses[static_cast<std::size_t>(g)];
+      st.graph = g;
+      st.period_s = graph.period();
+      st.abs_deadline_s = ir.deadline_s;
+      st.wc_total_cycles = graph.total_wcet_cycles();
+      st.complete = ir.complete();
+      // Past its window with no successor instance released (drain tail):
+      // the graph no longer claims bandwidth.
+      const bool expired = st.complete && t >= ir.deadline_s - kEps;
+      st.cc_wc_cycles = expired ? 0.0 : ir.cc_wc;
+      st.remaining_wc_cycles = ir.remaining_wc;
+    }
+
+    // ---- 3. EDF order over incomplete instances ----------------------
+    std::vector<int> edf;
+    for (int g = 0; g < n_graphs; ++g) {
+      if (!inst[static_cast<std::size_t>(g)].complete()) {
+        edf.push_back(g);
+      }
+    }
+    std::sort(edf.begin(), edf.end(), [&](int a, int b) {
+      const double da = inst[static_cast<std::size_t>(a)].deadline_s;
+      const double db = inst[static_cast<std::size_t>(b)].deadline_s;
+      return da != db ? da < db : a < b;
+    });
+
+    if (edf.empty()) {
+      double t_next = earliest_release();
+      if (t_next == kInf) {
+        if (config_.drain || t >= config_.horizon_s - kEps) {
+          break;  // drained: nothing in flight, nothing to release
+        }
+        // Fixed-horizon run: idle out the tail (idle current still
+        // drains the battery).
+        t_next = config_.horizon_s;
+      }
+      const double dt = t_next - t;
+      if (dt > 0.0) {
+        const double sustained = consume(proc_.idle_current_a(), dt);
+        t += sustained;
+        if (battery_dead && config_.stop_when_battery_empty) {
+          break;
+        }
+      }
+      t = t_next;
+      continue;
+    }
+
+    // ---- 4. frequency selection (the scheme's DVS half) --------------
+    const double fref =
+        std::clamp(scheme_.dvs->select(statuses, t), 0.0, proc_.fmax_hz());
+    const auto plan = dvs::realize(proc_, fref);
+
+    // EDF-ordered status view for the feasibility check.
+    std::vector<dvs::GraphStatus> edf_statuses;
+    edf_statuses.reserve(edf.size());
+    for (int g : edf) {
+      edf_statuses.push_back(statuses[static_cast<std::size_t>(g)]);
+    }
+
+    // ---- 5. build the ready list (the scheme's ordering half) --------
+    struct ScoredCandidate {
+      sched::Candidate cand;
+      double score = 0.0;
+    };
+    std::vector<ScoredCandidate> candidates;
+    const std::size_t scan_depth =
+        scheme_.scope == core::ReadyScope::kAllReleased ? edf.size() : 1;
+    for (std::size_t pos = 0; pos < scan_depth; ++pos) {
+      const int g = edf[pos];
+      const auto& ir = inst[static_cast<std::size_t>(g)];
+      for (tg::NodeId id = 0; id < ir.nodes.size(); ++id) {
+        const auto& nr = ir.nodes[id];
+        if (nr.done || nr.pending_preds > 0) {
+          continue;
+        }
+        sched::Candidate c;
+        c.graph = g;
+        c.node = id;
+        c.wc_cycles = std::max(nr.wc - nr.executed(), kCycleEps);
+        c.actual_cycles = nr.remaining_ac;
+        const double full_estimate = scheme_.estimator->estimate(
+            g, id, nr.wc, nr.ac);
+        c.estimate_cycles =
+            std::max(full_estimate - nr.executed(), kCycleEps);
+        c.graph_abs_deadline_s = ir.deadline_s;
+        c.graph_remaining_wc_cycles = ir.remaining_wc;
+        c.edf_position = static_cast<int>(pos);
+        candidates.push_back({c, 0.0});
+      }
+    }
+    for (auto& sc : candidates) {
+      sc.score = scheme_.priority->score(sc.cand, t);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                if (a.score != b.score) {
+                  return a.score < b.score;
+                }
+                if (a.cand.graph != b.cand.graph) {
+                  return a.cand.graph < b.cand.graph;
+                }
+                return a.cand.node < b.cand.node;
+              });
+
+    const ScoredCandidate* chosen = nullptr;
+    for (const auto& sc : candidates) {
+      if (sc.cand.edf_position == 0 ||
+          sched::feasibility_check(edf_statuses, sc.cand.edf_position,
+                                   sc.cand.wc_cycles,
+                                   plan.effective_freq_hz, t)) {
+        chosen = &sc;
+        break;
+      }
+    }
+    // The most-imminent graph always offers an unguarded candidate.
+    if (chosen == nullptr) {
+      throw std::logic_error("Simulator: no feasible candidate (bug)");
+    }
+
+    // ---- 6. run the chosen node until completion or next release -----
+    const int g = chosen->cand.graph;
+    auto& ir = inst[static_cast<std::size_t>(g)];
+    auto& nr = ir.nodes[chosen->cand.node];
+
+    const double full_duration = nr.remaining_ac / plan.effective_freq_hz;
+    const double t_release = earliest_release();
+    const double run_until = std::min(t + full_duration, t_release);
+
+    // The two-point mix is laid out over the node's intended execution
+    // window, higher point first (Guideline 1 within the slot).
+    const double hi_end = t + plan.hi_fraction * full_duration;
+    struct Phase {
+      dvs::OperatingPoint op;
+      double start, end;
+    };
+    std::vector<Phase> phases;
+    if (run_until <= hi_end + kEps || plan.single_level()) {
+      phases.push_back({plan.hi_fraction > 0.0 ? plan.hi : plan.lo, t,
+                        run_until});
+    } else {
+      phases.push_back({plan.hi, t, hi_end});
+      phases.push_back({plan.lo, hi_end, run_until});
+    }
+
+    double executed_cycles = 0.0;
+    double t_now = t;
+    for (const auto& ph : phases) {
+      const double dt = ph.end - ph.start;
+      if (dt <= 0.0) {
+        continue;
+      }
+      const double current = proc_.battery_current_a(ph.op);
+      const double sustained = consume(current, dt);
+      const double cycles = ph.op.freq_hz * sustained;
+      executed_cycles += cycles;
+      res.energy_j += proc_.core_power_w(ph.op) * sustained;
+      res.busy_s += sustained;
+      if (config_.record_trace && sustained > 0.0) {
+        res.trace.push_back(ExecSlice{g, ir.number, chosen->cand.node,
+                                      t_now, t_now + sustained,
+                                      ph.op.freq_hz, current});
+      }
+      if (current > last_busy_current + 1e-12) {
+        ++res.frequency_increases;
+      }
+      last_busy_current = current;
+      t_now += sustained;
+      if (battery_dead && config_.stop_when_battery_empty) {
+        break;
+      }
+    }
+    t = t_now;
+
+    // ---- 7. bookkeeping ----------------------------------------------
+    executed_cycles = std::min(executed_cycles, nr.remaining_ac);
+    nr.remaining_ac -= executed_cycles;
+    ir.remaining_wc = std::max(0.0, ir.remaining_wc - executed_cycles);
+
+    if (battery_dead && config_.stop_when_battery_empty) {
+      break;
+    }
+
+    if (nr.remaining_ac <= kCycleEps) {
+      nr.remaining_ac = 0.0;
+      nr.done = true;
+      ++ir.done_count;
+      ++res.nodes_executed;
+      // Completion adjustments (paper Algorithm 1): the instance's WCi
+      // swaps this node's wc for its actual; remaining worst case drops
+      // by the wc that was never going to run.
+      ir.cc_wc += nr.ac - nr.wc;
+      ir.remaining_wc = std::max(0.0, ir.remaining_wc - (nr.wc - nr.ac));
+      const auto& graph = set_.graph(static_cast<std::size_t>(g));
+      for (tg::NodeId succ : graph.successors(chosen->cand.node)) {
+        --ir.nodes[succ].pending_preds;
+      }
+      scheme_.estimator->observe(g, chosen->cand.node, nr.ac);
+      if (ir.complete()) {
+        ++res.instances_completed;
+        if (t > ir.deadline_s + 1e-6) {
+          ++res.deadline_misses;
+        }
+      }
+    } else if (run_until >= t_release - kEps) {
+      ++res.preemptions;
+    }
+  }
+
+  res.end_time_s = t;
+  if (battery != nullptr) {
+    res.battery_lifetime_s = battery->time_alive_s();
+    res.battery_delivered_mah = battery->charge_delivered_mah();
+  }
+  return res;
+}
+
+SimResult simulate_scheme(const tg::TaskGraphSet& set,
+                          const dvs::Processor& proc, core::SchemeKind kind,
+                          const SimConfig& config, bat::Battery* battery) {
+  core::Scheme scheme = core::make_scheme(kind, proc.fmax_hz(), config.seed);
+  Simulator sim(set, proc, scheme, config);
+  return sim.run(battery);
+}
+
+}  // namespace bas::sim

@@ -1,0 +1,124 @@
+#pragma once
+// Event-driven simulation of a scheduling scheme over a periodic
+// task-graph set on a DVS processor, optionally discharging a battery
+// inline — the experimental apparatus behind every table and figure.
+//
+// Decision points are exactly the paper's: task-graph releases and node
+// completions. At each one the scheme's DVS policy re-selects fref, the
+// realizer maps it onto the processor's operating points (higher point
+// first within a slot), the ready list is built according to the
+// scheme's scope, candidates are scored by the priority function, and
+// the best candidate passing the feasibility check runs until it
+// finishes or the next release preempts it.
+//
+// Actual computations are drawn per (seed, graph, instance, node) as
+// U(ac_lo, ac_hi) * wc — identical across schemes for a given seed
+// (common random numbers), as required for fair scheme comparisons.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "battery/model.hpp"
+#include "battery/profile.hpp"
+#include "core/scheme.hpp"
+#include "dvs/processor.hpp"
+#include "sim/trace.hpp"
+#include "taskgraph/set.hpp"
+
+namespace bas::sim {
+
+/// How per-instance actual computations relate across instances.
+enum class AcModel {
+  /// Fresh U(lo, hi) * wc draw per (instance, node) — the paper's §5
+  /// wording taken literally. History-based estimators see only the
+  /// population mean.
+  kIid,
+  /// Each node has a persistent mean fraction drawn once from U(lo, hi),
+  /// jittered per instance — tasks with stable data-dependent behaviour.
+  /// This is the regime where "keep history of previous instances"
+  /// (§4.2) pays off.
+  kPerNodeMean,
+};
+
+struct SimConfig {
+  /// Releases stop at this simulated time; with `drain` the run then
+  /// finishes all in-flight instances (same total work for every scheme).
+  double horizon_s = 60.0;
+  bool drain = true;
+  /// Seed for per-node actual computations.
+  std::uint64_t seed = 1;
+  /// Actual computation as a fraction of wc, drawn from
+  /// [ac_lo_frac, ac_hi_frac] ("between 20% and 100% of the WCET", §5).
+  double ac_lo_frac = 0.2;
+  double ac_hi_frac = 1.0;
+  AcModel ac_model = AcModel::kIid;
+  /// kPerNodeMean: per-instance jitter added to the node's mean fraction
+  /// (result clamped back into [ac_lo_frac, ac_hi_frac]).
+  double ac_jitter = 0.1;
+  /// Record the full execution trace (for audits and figures).
+  bool record_trace = false;
+  /// Record the battery-current load profile.
+  bool record_profile = true;
+  /// With an attached battery: stop the run the moment it empties.
+  bool stop_when_battery_empty = true;
+};
+
+struct SimResult {
+  /// Simulated time reached (s).
+  double end_time_s = 0.0;
+  /// Core (processor-side) energy consumed by execution (J).
+  double energy_j = 0.0;
+  /// Battery-side charge for execution + idle (C); equals the profile
+  /// integral when the profile is recorded.
+  double charge_c = 0.0;
+  /// Busy time (s) — everything that is not idle.
+  double busy_s = 0.0;
+
+  std::uint64_t instances_released = 0;
+  std::uint64_t instances_completed = 0;
+  std::uint64_t nodes_executed = 0;
+  std::uint64_t preemptions = 0;
+  /// Times the effective frequency rose between consecutive busy slices
+  /// within one hyper-release window — a Guideline 1 proxy.
+  std::uint64_t frequency_increases = 0;
+  std::size_t deadline_misses = 0;
+
+  bat::LoadProfile profile;       // when record_profile
+  std::vector<ExecSlice> trace;   // when record_trace
+
+  bool battery_attached = false;
+  bool battery_died = false;
+  double battery_lifetime_s = 0.0;
+  double battery_delivered_mah = 0.0;
+
+  double average_current_a() const {
+    return end_time_s > 0.0 ? charge_c / end_time_s : 0.0;
+  }
+};
+
+class Simulator {
+ public:
+  /// The scheme is held by reference and mutated (estimator history,
+  /// random priority stream); it is reset() at the start of every run.
+  Simulator(const tg::TaskGraphSet& set, const dvs::Processor& proc,
+            core::Scheme& scheme, SimConfig config);
+
+  /// Runs the simulation; with a battery, discharges it inline and (by
+  /// default) stops when it empties. The battery is reset first.
+  SimResult run(bat::Battery* battery = nullptr);
+
+ private:
+  const tg::TaskGraphSet& set_;
+  const dvs::Processor& proc_;
+  core::Scheme& scheme_;
+  SimConfig config_;
+};
+
+/// Convenience wrapper: build the scheme, simulate, return the result.
+SimResult simulate_scheme(const tg::TaskGraphSet& set,
+                          const dvs::Processor& proc, core::SchemeKind kind,
+                          const SimConfig& config,
+                          bat::Battery* battery = nullptr);
+
+}  // namespace bas::sim

@@ -1,0 +1,43 @@
+#include "taskgraph/set.hpp"
+
+#include <stdexcept>
+
+namespace bas::tg {
+
+TaskGraphSet::TaskGraphSet(std::vector<TaskGraph> graphs)
+    : graphs_(std::move(graphs)) {}
+
+std::size_t TaskGraphSet::add(TaskGraph graph) {
+  graphs_.push_back(std::move(graph));
+  return graphs_.size() - 1;
+}
+
+double TaskGraphSet::utilization(double fmax_hz) const {
+  if (fmax_hz <= 0.0) {
+    throw std::invalid_argument("TaskGraphSet::utilization: fmax must be > 0");
+  }
+  double u = 0.0;
+  for (const auto& g : graphs_) {
+    u += (g.total_wcet_cycles() / fmax_hz) / g.period();
+  }
+  return u;
+}
+
+std::size_t TaskGraphSet::total_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& g : graphs_) {
+    n += g.node_count();
+  }
+  return n;
+}
+
+void TaskGraphSet::validate() const {
+  if (graphs_.empty()) {
+    throw std::logic_error("TaskGraphSet: empty set");
+  }
+  for (const auto& g : graphs_) {
+    g.validate();
+  }
+}
+
+}  // namespace bas::tg

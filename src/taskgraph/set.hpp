@@ -1,0 +1,42 @@
+#pragma once
+// A set of periodic task graphs sharing one processor — the unit of
+// workload the scheduler and simulator operate on.
+
+#include <vector>
+
+#include "taskgraph/graph.hpp"
+
+namespace bas::tg {
+
+class TaskGraphSet {
+ public:
+  TaskGraphSet() = default;
+  explicit TaskGraphSet(std::vector<TaskGraph> graphs);
+
+  /// Adds a graph; returns its index within the set.
+  std::size_t add(TaskGraph graph);
+
+  std::size_t size() const noexcept { return graphs_.size(); }
+  bool empty() const noexcept { return graphs_.empty(); }
+  const TaskGraph& graph(std::size_t i) const { return graphs_.at(i); }
+  TaskGraph& graph(std::size_t i) { return graphs_.at(i); }
+
+  auto begin() const noexcept { return graphs_.begin(); }
+  auto end() const noexcept { return graphs_.end(); }
+
+  /// Worst-case processor utilization at frequency fmax:
+  /// U = Σ_i (WCi / fmax) / Di  with WCi the sum of node wcets (cycles).
+  double utilization(double fmax_hz) const;
+
+  /// Total node count across graphs.
+  std::size_t total_nodes() const noexcept;
+
+  /// Validates every graph plus set-level invariants (non-empty).
+  /// Throws std::logic_error on violation.
+  void validate() const;
+
+ private:
+  std::vector<TaskGraph> graphs_;
+};
+
+}  // namespace bas::tg

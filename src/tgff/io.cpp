@@ -1,0 +1,140 @@
+#include "tgff/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace bas::tgff {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("tgff parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+void write_tgff(std::ostream& out, const tg::TaskGraphSet& set) {
+  out << "# bas task-graph set: " << set.size() << " graphs, "
+      << set.total_nodes() << " tasks\n";
+  out << std::setprecision(17);
+  for (const auto& g : set) {
+    out << "@TASKGRAPH " << (g.name().empty() ? "G" : g.name()) << " PERIOD "
+        << g.period() << "\n";
+    for (tg::NodeId id = 0; id < g.node_count(); ++id) {
+      out << "  TASK " << g.node(id).name << " WCET "
+          << g.node(id).wcet_cycles << "\n";
+    }
+    for (tg::NodeId id = 0; id < g.node_count(); ++id) {
+      for (tg::NodeId succ : g.successors(id)) {
+        out << "  ARC " << id << " " << succ << "\n";
+      }
+    }
+    out << "@END\n";
+  }
+}
+
+std::string to_tgff_string(const tg::TaskGraphSet& set) {
+  std::ostringstream out;
+  write_tgff(out, set);
+  return out.str();
+}
+
+tg::TaskGraphSet parse_tgff(std::istream& in) {
+  tg::TaskGraphSet set;
+  std::string line;
+  std::size_t line_no = 0;
+  bool in_graph = false;
+  tg::TaskGraph current;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) {
+      continue;  // blank/comment line
+    }
+    if (keyword == "@TASKGRAPH") {
+      if (in_graph) {
+        fail(line_no, "@TASKGRAPH inside another graph (missing @END?)");
+      }
+      std::string name;
+      std::string period_kw;
+      double period = 0.0;
+      if (!(tokens >> name >> period_kw >> period) || period_kw != "PERIOD") {
+        fail(line_no, "expected '@TASKGRAPH <name> PERIOD <seconds>'");
+      }
+      current = tg::TaskGraph(period, name);
+      in_graph = true;
+    } else if (keyword == "TASK") {
+      if (!in_graph) {
+        fail(line_no, "TASK outside @TASKGRAPH");
+      }
+      std::string name;
+      std::string wcet_kw;
+      double wcet = 0.0;
+      if (!(tokens >> name >> wcet_kw >> wcet) || wcet_kw != "WCET") {
+        fail(line_no, "expected 'TASK <name> WCET <cycles>'");
+      }
+      current.add_node(wcet, name);
+    } else if (keyword == "ARC") {
+      if (!in_graph) {
+        fail(line_no, "ARC outside @TASKGRAPH");
+      }
+      long long from = -1;
+      long long to = -1;
+      if (!(tokens >> from >> to) || from < 0 || to < 0) {
+        fail(line_no, "expected 'ARC <from-index> <to-index>'");
+      }
+      try {
+        current.add_edge(static_cast<tg::NodeId>(from),
+                         static_cast<tg::NodeId>(to));
+      } catch (const std::exception& e) {
+        fail(line_no, e.what());
+      }
+    } else if (keyword == "@END") {
+      if (!in_graph) {
+        fail(line_no, "@END without @TASKGRAPH");
+      }
+      current.validate();
+      set.add(std::move(current));
+      current = tg::TaskGraph();
+      in_graph = false;
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (in_graph) {
+    fail(line_no, "unterminated @TASKGRAPH (missing @END)");
+  }
+  return set;
+}
+
+tg::TaskGraphSet parse_tgff_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_tgff(in);
+}
+
+void save_tgff_file(const std::string& path, const tg::TaskGraphSet& set) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_tgff_file: cannot open " + path);
+  }
+  write_tgff(out, set);
+}
+
+tg::TaskGraphSet load_tgff_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_tgff_file: cannot open " + path);
+  }
+  return parse_tgff(in);
+}
+
+}  // namespace bas::tgff

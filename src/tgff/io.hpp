@@ -1,0 +1,39 @@
+#pragma once
+// Text serialization of task-graph sets, in the spirit of TGFF's .tgff
+// files: lets workloads be generated once, versioned, and replayed
+// across machines/branches, instead of living only behind a seed.
+//
+// Format (line-oriented, '#' comments, whitespace-separated):
+//
+//   @TASKGRAPH <name> PERIOD <seconds>
+//     TASK <name> WCET <cycles>
+//     ARC <from-index> <to-index>
+//   @END
+//
+// Task indices are assignment order within the graph, matching
+// tg::NodeId. parse() validates each graph (acyclicity, positive wcets)
+// before returning.
+
+#include <iosfwd>
+#include <string>
+
+#include "taskgraph/set.hpp"
+
+namespace bas::tgff {
+
+/// Writes the set in the format above (stable across platforms; doubles
+/// with 17 significant digits so round-trips are exact).
+void write_tgff(std::ostream& out, const tg::TaskGraphSet& set);
+std::string to_tgff_string(const tg::TaskGraphSet& set);
+
+/// Parses a task-graph set. Throws std::runtime_error with a line
+/// number on malformed input, and std::logic_error when a parsed graph
+/// fails validation.
+tg::TaskGraphSet parse_tgff(std::istream& in);
+tg::TaskGraphSet parse_tgff_string(const std::string& text);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_tgff_file(const std::string& path, const tg::TaskGraphSet& set);
+tg::TaskGraphSet load_tgff_file(const std::string& path);
+
+}  // namespace bas::tgff

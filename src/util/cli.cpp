@@ -1,0 +1,86 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bas::util {
+
+Cli::Cli(int argc, const char* const* argv,
+         std::map<std::string, std::string> defaults)
+    : values_(std::move(defaults)) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      throw std::runtime_error("unknown option --" + name);
+    }
+    const bool is_flag = it->second == "0" || it->second == "1";
+    if (!has_value) {
+      if (is_flag) {
+        value = "1";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw std::runtime_error("option --" + name + " expects a value");
+      }
+    }
+    it->second = value;
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Cli::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw std::runtime_error("undeclared option --" + name);
+  }
+  return it->second;
+}
+
+long long Cli::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "1" || v == "true" || v == "yes";
+}
+
+std::uint64_t Cli::get_u64(const std::string& name) const {
+  return std::stoull(get(name));
+}
+
+std::string Cli::summary() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) {
+      out << ' ';
+    }
+    first = false;
+    out << "--" << key << ' ' << value;
+  }
+  return out.str();
+}
+
+}  // namespace bas::util

@@ -1,0 +1,40 @@
+#pragma once
+// Minimal command-line option parsing for bench/example binaries.
+//
+// Supported syntax:  --name value | --name=value | --flag
+// Unknown options throw, so typos in sweep scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bas::util {
+
+class Cli {
+ public:
+  /// Parses argv. `spec` maps option name (without dashes) to a default
+  /// value; the empty string marks a boolean flag (value "0"/"1").
+  Cli(int argc, const char* const* argv,
+      std::map<std::string, std::string> defaults);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+  std::uint64_t get_u64(const std::string& name) const;
+
+  /// Positional arguments (anything not starting with --).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders "--key value" pairs of the effective configuration, for
+  /// reproducibility banners at the top of each bench's output.
+  std::string summary() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bas::util

@@ -1,0 +1,210 @@
+// Unit tests for the util substrate: RNG determinism and distribution
+// sanity, statistics accumulators, tables and CLI parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace bas {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  util::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(0.2, 1.0);
+    ASSERT_GE(u, 0.2);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyCentered) {
+  util::Rng rng(99);
+  util::Accumulator acc;
+  for (int i = 0; i < 200000; ++i) {
+    acc.add(rng.uniform(0.2, 1.0));
+  }
+  EXPECT_NEAR(acc.mean(), 0.6, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  util::Rng rng(3);
+  std::map<int, int> histogram;
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.uniform_int(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    ++histogram[v];
+  }
+  EXPECT_EQ(histogram.size(), 4u);
+  for (const auto& [value, count] : histogram) {
+    EXPECT_GT(count, 2000) << "value " << value << " undersampled";
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  util::Rng rng(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  util::Rng rng(8);
+  util::Accumulator acc;
+  for (int i = 0; i < 200000; ++i) {
+    acc.add(rng.exponential(2.5));
+  }
+  EXPECT_NEAR(acc.mean(), 2.5, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  util::Rng rng(9);
+  util::Accumulator acc;
+  for (int i = 0; i < 200000; ++i) {
+    acc.add(rng.normal(10.0, 3.0));
+  }
+  EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, DeriveProducesIndependentStreams) {
+  const util::Rng base(123);
+  util::Rng a = base.derive(1);
+  util::Rng b = base.derive(2);
+  util::Rng a2 = base.derive(1);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  util::Rng a3 = base.derive(1);
+  EXPECT_EQ(a2.next_u64(), a3.next_u64());
+}
+
+TEST(Rng, HashCombineOrderSensitive) {
+  EXPECT_NE(util::Rng::hash_combine(1, 2), util::Rng::hash_combine(2, 1));
+  EXPECT_EQ(util::Rng::hash_combine(1, 2), util::Rng::hash_combine(1, 2));
+}
+
+TEST(Accumulator, BasicMoments) {
+  util::Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.add(v);
+  }
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  util::Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Sample, QuantileInterpolation) {
+  util::Sample s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(Sample, GeometricMean) {
+  EXPECT_NEAR(util::geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_EQ(util::geometric_mean({}), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  util::Table t({"name", "value"});
+  t.add_row({"alpha", util::Table::num(1.5, 1)});
+  t.add_row({"b", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("alpha  1.5"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(util::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(util::Table::num(static_cast<long long>(42)), "42");
+}
+
+TEST(Cli, ParsesValuesAndFlags) {
+  const char* argv[] = {"prog", "--sets", "25", "--full", "--seed=9"};
+  util::Cli cli(5, argv,
+                {{"sets", "10"}, {"full", "0"}, {"seed", "1"}});
+  EXPECT_EQ(cli.get_int("sets"), 25);
+  EXPECT_TRUE(cli.get_flag("full"));
+  EXPECT_EQ(cli.get_u64("seed"), 9u);
+}
+
+TEST(Cli, DefaultsApply) {
+  const char* argv[] = {"prog"};
+  util::Cli cli(1, argv, {{"sets", "10"}});
+  EXPECT_EQ(cli.get_int("sets"), 10);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(util::Cli(3, argv, {{"sets", "10"}}), std::runtime_error);
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  const char* argv[] = {"prog", "file.csv", "--sets", "3"};
+  util::Cli cli(4, argv, {{"sets", "10"}});
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "file.csv");
+}
+
+}  // namespace
+}  // namespace bas
