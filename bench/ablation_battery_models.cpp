@@ -6,42 +6,62 @@
 // the library. The ideal battery is the control: without rate-capacity
 // and recovery effects, lifetime differences reduce to pure energy
 // differences.
+//
+// The engine shards the (battery model x scheme x set) grid; workloads
+// key off the replicate seed so every cell sees the same sets (CRN).
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "analysis/compare.hpp"
-#include "battery/diffusion.hpp"
-#include "battery/ideal.hpp"
-#include "battery/kibam.hpp"
-#include "battery/peukert.hpp"
-#include "battery/stochastic.hpp"
+#include "exp/factories.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
+#include "sim/simulator.hpp"
 #include "tgff/workload.hpp"
 #include "util/cli.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bas;
-  util::Cli cli(argc, argv, {{"sets", "6"}, {"seed", "29"}, {"csv", ""}});
+  util::Cli cli(argc, argv, util::Cli::with_bench_defaults(
+                                {{"sets", "6"}, {"seed", "29"}}));
   const int sets = static_cast<int>(cli.get_int("sets"));
-  const auto seed = cli.get_u64("seed");
 
   const auto proc = dvs::Processor::paper_default();
-  std::vector<std::unique_ptr<bat::Battery>> models;
-  models.push_back(
-      std::make_unique<bat::IdealBattery>(bat::to_coulombs(2000.0)));
-  models.push_back(std::make_unique<bat::PeukertBattery>(bat::PeukertParams{}));
-  models.push_back(
-      std::make_unique<bat::KibamBattery>(bat::KibamParams::paper_aaa_nimh()));
-  models.push_back(std::make_unique<bat::DiffusionBattery>(
-      bat::DiffusionParams::paper_aaa_nimh()));
-  models.push_back(
-      std::make_unique<bat::StochasticBattery>(bat::StochasticParams{}));
 
   util::print_banner("Ablation: Table-2 lifetimes (min) across battery models");
   std::printf("config: %s\n\n", cli.summary().c_str());
+
+  exp::ExperimentSpec spec;
+  spec.title = "ablation_battery_models";
+  spec.grid = exp::Grid{std::vector<exp::Axis>{exp::battery_axis(),
+                                               exp::scheme_axis()}};
+  spec.metrics = {"lifetime_min"};
+  spec.replicates = sets;
+  spec.seed = cli.get_u64("seed");
+  spec.run = [&](const exp::Job& job) -> std::vector<double> {
+    util::Rng rng(job.replicate_seed);
+    tgff::WorkloadParams wp;
+    wp.graph_count = 3;
+    wp.target_utilization = 0.7 / 0.6;
+    wp.period_lo_s = 0.5;
+    wp.period_hi_s = 5.0;
+    const auto set = tgff::make_workload(wp, rng);
+
+    sim::SimConfig config;
+    config.horizon_s = 24.0 * 3600.0;
+    config.drain = false;
+    config.record_profile = false;
+    config.ac_model = sim::AcModel::kPerNodeMean;
+    config.seed = util::Rng::hash_combine(job.replicate_seed, 100u);
+
+    const auto battery = exp::make_battery(exp::battery_labels()[job.at(0)]);
+    const auto r = sim::simulate_scheme(
+        set, proc, exp::scheme_kind_at(job.at(1)), config, battery.get());
+    return {r.battery_lifetime_s / 60.0};
+  };
+
+  const auto result = exp::run_experiment(spec, cli.jobs());
 
   const auto kinds = core::table2_schemes();
   std::vector<std::string> headers{"model"};
@@ -50,36 +70,13 @@ int main(int argc, char** argv) {
   }
   headers.push_back("BAS-2/laEDF");
   util::Table table(headers);
-
-  for (const auto& model : models) {
-    std::vector<util::Accumulator> life(kinds.size());
-    for (int s = 0; s < sets; ++s) {
-      util::Rng rng(util::Rng::hash_combine(
-          seed, static_cast<std::uint64_t>(s)));
-      tgff::WorkloadParams wp;
-      wp.graph_count = 3;
-      wp.target_utilization = 0.7 / 0.6;
-      wp.period_lo_s = 0.5;
-      wp.period_hi_s = 5.0;
-      const auto set = tgff::make_workload(wp, rng);
-
-      sim::SimConfig config;
-      config.horizon_s = 24.0 * 3600.0;
-      config.drain = false;
-      config.record_profile = false;
-      config.ac_model = sim::AcModel::kPerNodeMean;
-      config.seed = util::Rng::hash_combine(seed, 100u + static_cast<std::uint64_t>(s));
-      const auto outcomes =
-          analysis::compare_schemes(set, proc, kinds, config, model.get());
-      for (std::size_t k = 0; k < kinds.size(); ++k) {
-        life[k].add(outcomes[k].result.battery_lifetime_s / 60.0);
-      }
+  for (std::size_t m = 0; m < exp::battery_labels().size(); ++m) {
+    std::vector<std::string> row{exp::battery_labels()[m]};
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      row.push_back(util::Table::num(result.mean({m, k}, 0), 0));
     }
-    std::vector<std::string> row{model->name()};
-    for (auto& acc : life) {
-      row.push_back(util::Table::num(acc.mean(), 0));
-    }
-    row.push_back(util::Table::num(life[4].mean() / life[2].mean(), 3));
+    row.push_back(
+        util::Table::num(result.mean({m, 4}, 0) / result.mean({m, 2}, 0), 3));
     table.add_row(row);
   }
   table.print();
@@ -88,7 +85,7 @@ int main(int argc, char** argv) {
       "with nonlinear dynamics; on the ideal battery the residual gap is "
       "pure energy.\n");
   if (const auto csv = cli.get("csv"); !csv.empty()) {
-    table.write_csv(csv);
+    exp::write(result, csv);
     std::printf("wrote %s\n", csv.c_str());
   }
   return 0;

@@ -6,6 +6,9 @@
 // information), static mean, history EMA (the paper's suggestion), and
 // oracle (clairvoyant) — under both actual-computation models, reporting
 // battery lifetime and energy.
+//
+// The engine shards the (AC model x estimator x set) grid; workloads
+// key off the replicate seed so every rung sees the same sets (CRN).
 
 #include <cstdio>
 #include <functional>
@@ -13,20 +16,20 @@
 
 #include "battery/kibam.hpp"
 #include "core/scheme.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "sim/simulator.hpp"
 #include "tgff/workload.hpp"
 #include "util/cli.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bas;
-  util::Cli cli(argc, argv, {{"sets", "8"}, {"seed", "17"}, {"csv", ""}});
+  util::Cli cli(argc, argv, util::Cli::with_bench_defaults(
+                                {{"sets", "8"}, {"seed", "17"}}));
   const int sets = static_cast<int>(cli.get_int("sets"));
-  const auto seed = cli.get_u64("seed");
 
   const auto proc = dvs::Processor::paper_default();
-  const bat::KibamBattery battery(bat::KibamParams::paper_aaa_nimh());
 
   struct Ladder {
     const char* label;
@@ -38,51 +41,66 @@ int main(int argc, char** argv) {
       {"history-EMA", [] { return sched::make_history_estimator(); }},
       {"oracle", [] { return sched::make_oracle_estimator(); }},
   };
+  const std::vector<sim::AcModel> ac_models{sim::AcModel::kPerNodeMean,
+                                            sim::AcModel::kIid};
 
   util::print_banner("Ablation: estimator quality under BAS-2");
   std::printf("config: %s\n\n", cli.summary().c_str());
 
-  for (const auto model :
-       {sim::AcModel::kPerNodeMean, sim::AcModel::kIid}) {
+  std::vector<std::string> rung_labels;
+  for (const auto& rung : ladder) {
+    rung_labels.push_back(rung.label);
+  }
+
+  exp::ExperimentSpec spec;
+  spec.title = "ablation_estimator";
+  spec.grid.add("ac_model", {"per-node-mean", "iid"});
+  spec.grid.add("estimator", rung_labels);
+  spec.metrics = {"lifetime_min", "delivered_mah", "energy_j"};
+  spec.replicates = sets;
+  spec.seed = cli.get_u64("seed");
+  spec.run = [&](const exp::Job& job) -> std::vector<double> {
+    util::Rng rng(job.replicate_seed);
+    tgff::WorkloadParams wp;
+    wp.graph_count = 3;
+    wp.target_utilization = 0.7 / 0.6;
+    wp.period_lo_s = 0.5;
+    wp.period_hi_s = 5.0;
+    const auto set = tgff::make_workload(wp, rng);
+
+    const auto& rung = ladder[job.at(1)];
+    core::Scheme scheme = core::make_custom_scheme(
+        rung.label, dvs::make_la_edf(proc.fmax_hz()),
+        sched::make_pubs_priority(), rung.make(),
+        core::ReadyScope::kAllReleased);
+
+    sim::SimConfig config;
+    config.horizon_s = 24.0 * 3600.0;
+    config.drain = false;
+    config.record_profile = false;
+    config.ac_model = ac_models[job.at(0)];
+    config.seed = util::Rng::hash_combine(job.replicate_seed, 100u);
+
+    bat::KibamBattery battery(bat::KibamParams::paper_aaa_nimh());
+    sim::Simulator sim(set, proc, scheme, config);
+    const auto r = sim.run(&battery);
+    return {r.battery_lifetime_s / 60.0, r.battery_delivered_mah, r.energy_j};
+  };
+
+  const auto result = exp::run_experiment(spec, cli.jobs());
+
+  for (std::size_t a = 0; a < ac_models.size(); ++a) {
     std::printf("actual-computation model: %s\n",
-                model == sim::AcModel::kIid ? "iid U(0.2,1.0) per instance"
-                                            : "persistent per-node means");
+                ac_models[a] == sim::AcModel::kIid
+                    ? "iid U(0.2,1.0) per instance"
+                    : "persistent per-node means");
     util::Table table(
         {"estimator", "lifetime (min)", "delivered (mAh)", "energy (J)"});
-    for (const auto& rung : ladder) {
-      util::Accumulator life;
-      util::Accumulator delivered;
-      util::Accumulator energy;
-      for (int s = 0; s < sets; ++s) {
-        util::Rng rng(util::Rng::hash_combine(
-            seed, static_cast<std::uint64_t>(s)));
-        tgff::WorkloadParams wp;
-        wp.graph_count = 3;
-        wp.target_utilization = 0.7 / 0.6;
-        wp.period_lo_s = 0.5;
-        wp.period_hi_s = 5.0;
-        const auto set = tgff::make_workload(wp, rng);
-
-        core::Scheme scheme = core::make_custom_scheme(
-            rung.label, dvs::make_la_edf(proc.fmax_hz()),
-            sched::make_pubs_priority(), rung.make(),
-            core::ReadyScope::kAllReleased);
-        sim::SimConfig config;
-        config.horizon_s = 24.0 * 3600.0;
-        config.drain = false;
-        config.record_profile = false;
-        config.ac_model = model;
-        config.seed = util::Rng::hash_combine(seed, 100u + static_cast<std::uint64_t>(s));
-        const auto battery_clone = battery.fresh_clone();
-        sim::Simulator sim(set, proc, scheme, config);
-        const auto r = sim.run(battery_clone.get());
-        life.add(r.battery_lifetime_s / 60.0);
-        delivered.add(r.battery_delivered_mah);
-        energy.add(r.energy_j);
-      }
-      table.add_row({rung.label, util::Table::num(life.mean(), 1),
-                     util::Table::num(delivered.mean(), 0),
-                     util::Table::num(energy.mean(), 0)});
+    for (std::size_t r = 0; r < ladder.size(); ++r) {
+      table.add_row({ladder[r].label,
+                     util::Table::num(result.mean({a, r}, 0), 1),
+                     util::Table::num(result.mean({a, r}, 1), 0),
+                     util::Table::num(result.mean({a, r}, 2), 0)});
     }
     table.print();
     std::printf("\n");
@@ -91,5 +109,10 @@ int main(int argc, char** argv) {
       "Shape check: lifetime rises monotonically up the ladder when the\n"
       "workload has learnable structure (per-node means); under iid\n"
       "actuals history can do no better than the static mean.\n");
+
+  if (const auto csv = cli.get("csv"); !csv.empty()) {
+    exp::write(result, csv);
+    std::printf("wrote %s\n", csv.c_str());
+  }
   return 0;
 }

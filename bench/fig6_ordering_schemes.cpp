@@ -7,14 +7,21 @@
 // Shape to reproduce: all schemes diverge from near-optimal (ratio 1.0)
 // as graphs are added, but pUBS over all released tasks stays closest,
 // then pUBS on the most imminent graph, then LTF, then Random.
+//
+// One engine job = one (graph count, set) pair; it prices the
+// near-optimal reference once and then all four ordering schemes on the
+// same workload, so the normalization shares random numbers by
+// construction.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "analysis/compare.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "tgff/workload.hpp"
 #include "util/cli.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -46,15 +53,15 @@ bas::core::Scheme make_ordering_scheme(const std::string& which,
 
 int main(int argc, char** argv) {
   using namespace bas;
-  util::Cli cli(argc, argv, {{"sets", "10"},
-                             {"seed", "6"},
-                             {"max-graphs", "10"},
-                             {"horizon", "60"},
-                             {"full", "0"},
-                             {"csv", ""}});
+  util::Cli cli(argc, argv,
+                util::Cli::with_bench_defaults({{"sets", "10"},
+                                                {"seed", "6"},
+                                                {"max-graphs", "10"},
+                                                {"horizon", "60"},
+                                                {"full", "false"}}));
   const int sets = cli.get_flag("full") ? 40 : static_cast<int>(cli.get_int("sets"));
-  const auto seed = cli.get_u64("seed");
   const int max_graphs = static_cast<int>(cli.get_int("max-graphs"));
+  const double horizon_s = cli.get_double("horizon");
 
   const auto proc = dvs::Processor::paper_default();
   const std::vector<std::string> schemes{"random", "ltf", "pubs-imminent",
@@ -64,44 +71,58 @@ int main(int argc, char** argv) {
       "Figure 6: energy of ordering schemes normalized w.r.t. near-optimal");
   std::printf("config: %s\n\n", cli.summary().c_str());
 
+  std::vector<int> graph_counts;
+  std::vector<std::string> graph_labels;
+  for (int graphs = 2; graphs <= max_graphs; graphs += 2) {
+    graph_counts.push_back(graphs);
+    graph_labels.push_back(std::to_string(graphs));
+  }
+
+  exp::ExperimentSpec spec;
+  spec.title = "fig6_ordering_schemes";
+  spec.grid.add("taskgraphs", graph_labels);
+  spec.metrics = {"random", "ltf", "pubs_imminent", "pubs_all"};
+  spec.replicates = sets;
+  spec.seed = cli.get_u64("seed");
+  spec.run = [&](const exp::Job& job) -> std::vector<double> {
+    util::Rng rng(job.seed);
+    tgff::WorkloadParams wp;
+    wp.graph_count = graph_counts[job.at(0)];
+    wp.target_utilization = 0.7 / 0.6;  // 70% actual utilization
+    wp.period_lo_s = 0.5;
+    wp.period_hi_s = 5.0;
+    const auto set = tgff::make_workload(wp, rng);
+
+    sim::SimConfig config;
+    config.horizon_s = horizon_s;
+    config.drain = true;
+    config.seed = util::Rng::hash_combine(job.seed, 555u);
+    config.record_profile = false;
+    config.ac_model = sim::AcModel::kPerNodeMean;
+
+    const double near_opt = analysis::near_optimal_energy_j(set, proc, config);
+
+    std::vector<double> ratios;
+    ratios.reserve(schemes.size());
+    for (const auto& which : schemes) {
+      core::Scheme scheme =
+          make_ordering_scheme(which, proc.fmax_hz(), config.seed);
+      sim::Simulator sim(set, proc, scheme, config);
+      ratios.push_back(sim.run().energy_j / near_opt);
+    }
+    return ratios;
+  };
+
+  const auto result = exp::run_experiment(spec, cli.jobs());
+
   util::Table table({"# taskgraphs", "Random", "LTF", "pUBS(imminent)",
                      "pUBS(all released)"});
-
-  for (int graphs = 2; graphs <= max_graphs; graphs += 2) {
-    std::vector<util::Accumulator> ratios(schemes.size());
-    for (int s = 0; s < sets; ++s) {
-      util::Rng rng(util::Rng::hash_combine(
-          seed, static_cast<std::uint64_t>(graphs * 1000 + s)));
-      tgff::WorkloadParams wp;
-      wp.graph_count = graphs;
-      wp.target_utilization = 0.7 / 0.6;  // 70% actual utilization
-      wp.period_lo_s = 0.5;
-      wp.period_hi_s = 5.0;
-      const auto set = tgff::make_workload(wp, rng);
-
-      sim::SimConfig config;
-      config.horizon_s = cli.get_double("horizon");
-      config.drain = true;
-      config.seed = util::Rng::hash_combine(seed, 555u + static_cast<std::uint64_t>(s));
-      config.record_profile = false;
-      config.ac_model = sim::AcModel::kPerNodeMean;
-
-      const double near_opt =
-          analysis::near_optimal_energy_j(set, proc, config);
-
-      for (std::size_t k = 0; k < schemes.size(); ++k) {
-        core::Scheme scheme =
-            make_ordering_scheme(schemes[k], proc.fmax_hz(), config.seed);
-        sim::Simulator sim(set, proc, scheme, config);
-        const auto result = sim.run();
-        ratios[k].add(result.energy_j / near_opt);
-      }
-    }
-    table.add_row({util::Table::num(static_cast<long long>(graphs)),
-                   util::Table::num(ratios[0].mean(), 3),
-                   util::Table::num(ratios[1].mean(), 3),
-                   util::Table::num(ratios[2].mean(), 3),
-                   util::Table::num(ratios[3].mean(), 3)});
+  for (std::size_t c = 0; c < result.cell_count(); ++c) {
+    table.add_row({result.grid().labels(c)[0],
+                   util::Table::num(result.mean(c, 0), 3),
+                   util::Table::num(result.mean(c, 1), 3),
+                   util::Table::num(result.mean(c, 2), 3),
+                   util::Table::num(result.mean(c, 3), 3)});
   }
   table.print();
   std::printf(
@@ -109,7 +130,7 @@ int main(int argc, char** argv) {
       "pUBS(all released) stays closest to 1.0.\n");
 
   if (const auto csv = cli.get("csv"); !csv.empty()) {
-    table.write_csv(csv);
+    exp::write(result, csv);
     std::printf("wrote %s\n", csv.c_str());
   }
   return 0;

@@ -8,77 +8,90 @@
 // high-current end approaches the available-well charge. The ideal
 // battery is flat — it has no rate-capacity effect — which is exactly
 // why battery-aware scheduling does not matter for it.
+//
+// The (model x load) grid runs on the experiment engine; each job
+// discharges one fresh cell at one constant load.
 
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "battery/diffusion.hpp"
-#include "battery/ideal.hpp"
-#include "battery/kibam.hpp"
 #include "battery/lifetime.hpp"
-#include "battery/peukert.hpp"
-#include "battery/stochastic.hpp"
+#include "exp/factories.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bas;
   util::Cli cli(argc, argv,
-                {{"csv", ""}, {"probe", "0.02"}});
+                util::Cli::with_bench_defaults({{"probe", "0.02"}}));
 
   const std::vector<double> loads{0.02, 0.05, 0.1, 0.2, 0.4, 0.7,
                                   1.0,  1.4,  1.8, 2.5, 3.5, 5.0};
-
-  std::vector<std::unique_ptr<bat::Battery>> models;
-  models.push_back(
-      std::make_unique<bat::IdealBattery>(bat::to_coulombs(2000.0)));
-  models.push_back(std::make_unique<bat::PeukertBattery>(bat::PeukertParams{
-      bat::to_coulombs(2000.0), 1.2, 0.2}));
-  models.push_back(
-      std::make_unique<bat::KibamBattery>(bat::KibamParams::paper_aaa_nimh()));
-  models.push_back(std::make_unique<bat::DiffusionBattery>(
-      bat::DiffusionParams::paper_aaa_nimh()));
-  models.push_back(
-      std::make_unique<bat::StochasticBattery>(bat::StochasticParams{}));
+  std::vector<std::string> load_labels;
+  for (const double load : loads) {
+    load_labels.push_back(util::Table::num(load, 2));
+  }
 
   util::print_banner(
       "Rate-capacity curves: delivered capacity (mAh) vs constant load (A)");
 
+  exp::ExperimentSpec spec;
+  spec.title = "rate_capacity_curve";
+  spec.grid = exp::Grid{}.add("battery", exp::battery_labels())
+                  .add("load_a", load_labels);
+  spec.metrics = {"delivered_mah", "lifetime_min"};
+  spec.run = [&](const exp::Job& job) -> std::vector<double> {
+    const auto model = exp::make_battery(exp::battery_labels()[job.at(0)]);
+    const auto point =
+        bat::rate_capacity_curve(*model, {loads[job.at(1)]}).front();
+    return {point.delivered_mah, point.lifetime_min};
+  };
+  const auto result = exp::run_experiment(spec, cli.jobs());
+
+  // Wide layout matching the paper's figure: one row per load, two
+  // columns (capacity, lifetime) per model.
   std::vector<std::string> headers{"load_A"};
-  for (const auto& m : models) {
-    headers.push_back(m->name() + "_mAh");
-    headers.push_back(m->name() + "_min");
+  for (const auto& model : exp::battery_labels()) {
+    headers.push_back(model + "_mAh");
+    headers.push_back(model + "_min");
   }
   util::Table table(headers);
-
-  std::vector<std::vector<bat::RateCapacityPoint>> curves;
-  for (const auto& m : models) {
-    curves.push_back(bat::rate_capacity_curve(*m, loads));
-  }
   for (std::size_t i = 0; i < loads.size(); ++i) {
-    std::vector<std::string> row{util::Table::num(loads[i], 2)};
-    for (const auto& curve : curves) {
-      row.push_back(util::Table::num(curve[i].delivered_mah, 1));
-      row.push_back(util::Table::num(curve[i].lifetime_min, 1));
+    std::vector<std::string> row{load_labels[i]};
+    for (std::size_t m = 0; m < exp::battery_labels().size(); ++m) {
+      row.push_back(util::Table::num(result.mean({m, i}, 0), 1));
+      row.push_back(util::Table::num(result.mean({m, i}, 1), 1));
     }
     table.add_row(row);
   }
   table.print();
 
   const double probe = cli.get_double("probe");
+  exp::ExperimentSpec extrapolate;
+  extrapolate.title = "rate_capacity_extrapolation";
+  extrapolate.grid.add("battery", exp::battery_labels());
+  extrapolate.metrics = {"max_capacity_mah"};
+  extrapolate.run = [&](const exp::Job& job) -> std::vector<double> {
+    const auto model = exp::make_battery(exp::battery_labels()[job.at(0)]);
+    return {bat::max_capacity_mah(*model, probe)};
+  };
+  const auto caps = exp::run_experiment(extrapolate, cli.jobs());
+
   std::printf("\nExtrapolated maximum capacity (probe %.0f mA):\n",
               probe * 1000);
-  for (const auto& m : models) {
-    std::printf("  %-11s %7.1f mAh\n", m->name().c_str(),
-                bat::max_capacity_mah(*m, probe));
+  for (std::size_t m = 0; m < caps.cell_count(); ++m) {
+    std::printf("  %-11s %7.1f mAh\n", caps.grid().labels(m)[0].c_str(),
+                caps.mean(m, 0));
   }
   std::printf(
       "\nPaper anchors: 2000 mAh maximum capacity, ~1600 mAh nominal at "
       "full load (~1.8 A).\n");
 
   if (const auto csv = cli.get("csv"); !csv.empty()) {
-    table.write_csv(csv);
+    exp::write(result, csv);
     std::printf("wrote %s\n", csv.c_str());
   }
   return 0;

@@ -12,16 +12,22 @@
 // Random worst; the gap grows loosely with graph size. We additionally
 // report pUBS with a clairvoyant estimate (Gruian's <1% claim applies to
 // independent tasks with perfect estimates).
+//
+// The (size x DAG) sweep runs on the experiment engine (--jobs N); the
+// exhaustive-optimal normalizer makes this the slowest table, so the
+// parallel speedup matters most here.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "dvs/processor.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "sched/optimal.hpp"
 #include "tgff/generator.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -39,14 +45,15 @@ std::vector<double> draw_actuals(const bas::tg::TaskGraph& g,
 
 int main(int argc, char** argv) {
   using namespace bas;
-  util::Cli cli(argc, argv, {{"dags", "40"},
-                             {"seed", "1"},
-                             {"min-tasks", "5"},
-                             {"max-tasks", "15"},
-                             {"full", "0"},
-                             {"csv", ""}});
+  util::Cli cli(argc, argv,
+                util::Cli::with_bench_defaults({{"dags", "40"},
+                                                {"seed", "1"},
+                                                {"min-tasks", "5"},
+                                                {"max-tasks", "15"},
+                                                {"full", "false"}}));
   const int dags = cli.get_flag("full") ? 200 : static_cast<int>(cli.get_int("dags"));
-  const auto seed = cli.get_u64("seed");
+  const int min_tasks = static_cast<int>(cli.get_int("min-tasks"));
+  const int max_tasks = static_cast<int>(cli.get_int("max-tasks"));
 
   // Energy comparisons run on the continuous-frequency idealization so
   // the optimal search has a smooth objective (see DESIGN.md).
@@ -56,71 +63,70 @@ int main(int argc, char** argv) {
       "Table 1: energy normalized w.r.t. optimal schedule (single DAGs)");
   std::printf("config: %s\n\n", cli.summary().c_str());
 
+  std::vector<std::string> sizes;
+  for (int n = min_tasks; n <= max_tasks; ++n) {
+    sizes.push_back(std::to_string(n));
+  }
+
+  exp::ExperimentSpec spec;
+  spec.title = "table1_single_dag";
+  spec.grid.add("tasks", sizes);
+  spec.metrics = {"random", "ltf", "stf", "pubs", "pubs_oracle", "exact"};
+  spec.replicates = dags;
+  spec.seed = cli.get_u64("seed");
+  spec.run = [&](const exp::Job& job) -> std::vector<double> {
+    const int n = min_tasks + static_cast<int>(job.at(0));
+    util::Rng rng(job.seed);
+    tgff::GeneratorParams gp;
+    gp.node_count = n;
+    gp.method = tgff::Method::kFanInFanOut;
+    auto graph = tgff::generate(gp, rng);
+    // Deadline leaves 25% static slack so even all-worst-case fits.
+    graph.set_period(graph.total_wcet_cycles() / (0.8 * proc.fmax_hz()));
+    const auto actuals = draw_actuals(graph, rng);
+
+    const auto opt = sched::optimal_schedule(graph, actuals, proc);
+
+    auto run = [&](std::unique_ptr<sched::PriorityPolicy> prio,
+                   std::unique_ptr<sched::Estimator> est) {
+      return sched::greedy_schedule(graph, actuals, proc, *prio, *est)
+                 .energy_j /
+             opt.energy_j;
+    };
+    // Average the random baseline over several draws per DAG.
+    util::Accumulator rnd;
+    for (int r = 0; r < 5; ++r) {
+      rnd.add(run(sched::make_random_priority(
+                      util::Rng::hash_combine(job.seed, 999u + r)),
+                  sched::make_history_estimator()));
+    }
+    // The paper's pUBS assumes per-task-informative estimates; we use
+    // a noisy oracle (actual +/- 25%) as the "accurate estimate"
+    // regime, with flat-mean pUBS degenerating to LTF as the paper
+    // warns ("if the estimate is bad ... more like a random
+    // schedule").
+    return {rnd.mean(),
+            run(sched::make_ltf_priority(), sched::make_history_estimator()),
+            run(sched::make_stf_priority(), sched::make_history_estimator()),
+            run(sched::make_pubs_priority(),
+                sched::make_noisy_oracle_estimator(
+                    0.25, util::Rng::hash_combine(job.seed, 77))),
+            run(sched::make_pubs_priority(), sched::make_oracle_estimator()),
+            opt.exact ? 1.0 : 0.0};
+  };
+
+  const auto result = exp::run_experiment(spec, cli.jobs());
+
   util::Table table({"# of tasks", "Random", "LTF", "STF", "pUBS",
                      "pUBS(oracle)", "exact%"});
-
-  for (int n = static_cast<int>(cli.get_int("min-tasks"));
-       n <= static_cast<int>(cli.get_int("max-tasks")); ++n) {
-    util::Accumulator random_ratio;
-    util::Accumulator ltf_ratio;
-    util::Accumulator stf_ratio;
-    util::Accumulator pubs_ratio;
-    util::Accumulator pubs_oracle_ratio;
-    int exact_count = 0;
-
-    for (int d = 0; d < dags; ++d) {
-      util::Rng rng(util::Rng::hash_combine(
-          seed, static_cast<std::uint64_t>(n * 10007 + d)));
-      tgff::GeneratorParams gp;
-      gp.node_count = n;
-      gp.method = tgff::Method::kFanInFanOut;
-      auto graph = tgff::generate(gp, rng);
-      // Deadline leaves 25% static slack so even all-worst-case fits.
-      graph.set_period(graph.total_wcet_cycles() / (0.8 * proc.fmax_hz()));
-      const auto actuals = draw_actuals(graph, rng);
-
-      const auto opt = sched::optimal_schedule(graph, actuals, proc);
-      if (opt.exact) {
-        ++exact_count;
-      }
-
-      auto run = [&](std::unique_ptr<sched::PriorityPolicy> prio,
-                     std::unique_ptr<sched::Estimator> est) {
-        return sched::greedy_schedule(graph, actuals, proc, *prio, *est)
-                   .energy_j /
-               opt.energy_j;
-      };
-      // Average the random baseline over several draws per DAG.
-      util::Accumulator rnd;
-      for (int r = 0; r < 5; ++r) {
-        rnd.add(run(sched::make_random_priority(
-                        util::Rng::hash_combine(seed, 999u + r)),
-                    sched::make_history_estimator()));
-      }
-      random_ratio.add(rnd.mean());
-      ltf_ratio.add(run(sched::make_ltf_priority(),
-                        sched::make_history_estimator()));
-      stf_ratio.add(run(sched::make_stf_priority(),
-                        sched::make_history_estimator()));
-      // The paper's pUBS assumes per-task-informative estimates; we use
-      // a noisy oracle (actual +/- 25%) as the "accurate estimate"
-      // regime, with flat-mean pUBS degenerating to LTF as the paper
-      // warns ("if the estimate is bad ... more like a random
-      // schedule").
-      pubs_ratio.add(run(sched::make_pubs_priority(),
-                         sched::make_noisy_oracle_estimator(
-                             0.25, util::Rng::hash_combine(seed, 77))));
-      pubs_oracle_ratio.add(run(sched::make_pubs_priority(),
-                                sched::make_oracle_estimator()));
-    }
-
-    table.add_row({util::Table::num(static_cast<long long>(n)),
-                   util::Table::num(random_ratio.mean(), 2),
-                   util::Table::num(ltf_ratio.mean(), 2),
-                   util::Table::num(stf_ratio.mean(), 2),
-                   util::Table::num(pubs_ratio.mean(), 2),
-                   util::Table::num(pubs_oracle_ratio.mean(), 2),
-                   util::Table::num(100.0 * exact_count / dags, 0)});
+  for (std::size_t c = 0; c < result.cell_count(); ++c) {
+    table.add_row({result.grid().labels(c)[0],
+                   util::Table::num(result.mean(c, 0), 2),
+                   util::Table::num(result.mean(c, 1), 2),
+                   util::Table::num(result.mean(c, 2), 2),
+                   util::Table::num(result.mean(c, 3), 2),
+                   util::Table::num(result.mean(c, 4), 2),
+                   util::Table::num(100.0 * result.mean(c, 5), 0)});
   }
   table.print();
   std::printf(
@@ -128,7 +134,7 @@ int main(int argc, char** argv) {
       "oracle estimates approaches 1.00.\n");
 
   if (const auto csv = cli.get("csv"); !csv.empty()) {
-    table.write_csv(csv);
+    exp::write(result, csv);
     std::printf("wrote %s\n", csv.c_str());
   }
   return 0;

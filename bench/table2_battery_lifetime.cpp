@@ -14,32 +14,33 @@
 // up to ~25% over laEDF and ~2x over EDF-without-DVS.
 //
 // Results are averaged over `--sets` random task-graph sets (the paper
-// uses 100; default here is smaller for a quick run — pass --full).
+// uses 100; default here is smaller for a quick run — pass --full). The
+// (scheme x set) sweep runs on the experiment engine: --jobs N shards it
+// across threads with bit-identical results for any N.
 
 #include <cstdio>
 #include <vector>
 
-#include "analysis/compare.hpp"
-#include "battery/kibam.hpp"
-#include "battery/stochastic.hpp"
+#include "exp/factories.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
+#include "sim/simulator.hpp"
 #include "tgff/workload.hpp"
 #include "util/cli.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bas;
-  util::Cli cli(argc, argv, {{"sets", "12"},
-                             {"graphs", "3"},
-                             {"seed", "2006"},
-                             {"utilization", "0.7"},
-                             {"util-basis", "actual"},
-                             {"battery", "kibam"},
-                             {"full", "0"},
-                             {"csv", ""}});
+  util::Cli cli(argc, argv,
+                util::Cli::with_bench_defaults({{"sets", "12"},
+                                                {"graphs", "3"},
+                                                {"seed", "2006"},
+                                                {"utilization", "0.7"},
+                                                {"util-basis", "actual"},
+                                                {"battery", "kibam"},
+                                                {"full", "false"}}));
   const int sets = cli.get_flag("full") ? 100 : static_cast<int>(cli.get_int("sets"));
   const int graphs = static_cast<int>(cli.get_int("graphs"));
-  const auto seed = cli.get_u64("seed");
 
   // The paper's anchors (EDF: 74 min / 1567 mAh at "70% utilization")
   // are only reproducible when 70% is the *actual* utilization; with
@@ -53,25 +54,21 @@ int main(int argc, char** argv) {
   }
 
   const auto proc = dvs::Processor::paper_default();
-  std::unique_ptr<bat::Battery> battery;
-  if (cli.get("battery") == "stochastic") {
-    battery = std::make_unique<bat::StochasticBattery>(bat::StochasticParams{});
-  } else {
-    battery =
-        std::make_unique<bat::KibamBattery>(bat::KibamParams::paper_aaa_nimh());
-  }
+  const std::string battery = cli.get("battery");
 
   util::print_banner("Table 2: battery lifetime by scheduling scheme");
   std::printf("config: %s\n\n", cli.summary().c_str());
 
-  const auto kinds = core::table2_schemes();
-  std::vector<util::Accumulator> delivered(kinds.size());
-  std::vector<util::Accumulator> lifetime(kinds.size());
-  std::vector<util::Accumulator> energy(kinds.size());
-  std::vector<std::size_t> misses(kinds.size(), 0);
-
-  for (int s = 0; s < sets; ++s) {
-    util::Rng rng(util::Rng::hash_combine(seed, static_cast<std::uint64_t>(s)));
+  exp::ExperimentSpec spec;
+  spec.title = "table2_battery_lifetime";
+  spec.grid.add("scheme", exp::scheme_labels());
+  spec.metrics = {"delivered_mah", "lifetime_min", "energy_j", "misses"};
+  spec.replicates = sets;
+  spec.seed = cli.get_u64("seed");
+  spec.run = [&](const exp::Job& job) -> std::vector<double> {
+    // Workload and actual-computation draws key off the replicate seed
+    // only, so every scheme sees the same random task-graph sets (CRN).
+    util::Rng rng(job.replicate_seed);
     tgff::WorkloadParams wp;
     wp.graph_count = graphs;
     wp.target_utilization = utilization;
@@ -82,20 +79,22 @@ int main(int argc, char** argv) {
     sim::SimConfig config;
     config.horizon_s = 24.0 * 3600.0;  // the battery dies long before
     config.drain = false;
-    config.seed = util::Rng::hash_combine(seed, 1000u + static_cast<std::uint64_t>(s));
+    config.seed = util::Rng::hash_combine(job.replicate_seed, 1000u);
     config.record_profile = false;
     config.record_trace = false;
     config.ac_model = sim::AcModel::kPerNodeMean;
 
-    const auto outcomes =
-        analysis::compare_schemes(set, proc, kinds, config, battery.get());
-    for (std::size_t k = 0; k < kinds.size(); ++k) {
-      delivered[k].add(outcomes[k].result.battery_delivered_mah);
-      lifetime[k].add(outcomes[k].result.battery_lifetime_s / 60.0);
-      energy[k].add(outcomes[k].result.energy_j);
-      misses[k] += outcomes[k].result.deadline_misses;
-    }
-  }
+    const auto cell = exp::make_battery(battery);
+    const auto r = sim::simulate_scheme(
+        set, proc, exp::scheme_kind_at(job.at(0)), config, cell.get());
+    return {r.battery_delivered_mah, r.battery_lifetime_s / 60.0, r.energy_j,
+            static_cast<double>(r.deadline_misses)};
+  };
+
+  const auto result = exp::run_experiment(spec, cli.jobs());
+  const std::size_t kLife = result.metric_index("lifetime_min");
+  const std::size_t kDelivered = result.metric_index("delivered_mah");
+  const std::size_t kMisses = result.metric_index("misses");
 
   util::Table table({"Scheme", "DVS Algo.", "Priority fct", "Ready list",
                      "Charge Delivered (mAh)", "Battery Life (min)",
@@ -105,28 +104,30 @@ int main(int argc, char** argv) {
   const char* ready_names[] = {"most imminent", "most imminent",
                                "most imminent", "most imminent",
                                "all released"};
-  const double edf_life = lifetime[0].mean();
-  for (std::size_t k = 0; k < kinds.size(); ++k) {
-    table.add_row({core::to_string(kinds[k]), dvs_names[k], prio_names[k],
-                   ready_names[k], util::Table::num(delivered[k].mean(), 0),
-                   util::Table::num(lifetime[k].mean(), 0),
-                   util::Table::num(lifetime[k].mean() / edf_life, 2) + "x",
-                   util::Table::num(static_cast<long long>(misses[k]))});
+  const double edf_life = result.mean(0, kLife);
+  for (std::size_t k = 0; k < result.cell_count(); ++k) {
+    table.add_row(
+        {result.grid().labels(k)[0], dvs_names[k], prio_names[k],
+         ready_names[k], util::Table::num(result.mean(k, kDelivered), 0),
+         util::Table::num(result.mean(k, kLife), 0),
+         util::Table::num(result.mean(k, kLife) / edf_life, 2) + "x",
+         util::Table::num(
+             static_cast<long long>(result.sum(k, kMisses)))});
   }
   table.print();
 
-  const double laedf_life = lifetime[2].mean();
-  const double bas2_life = lifetime[4].mean();
+  const double laedf_life = result.mean(2, kLife);
+  const double bas2_life = result.mean(4, kLife);
   std::printf(
       "\nBAS-2 vs laEDF: +%.1f%% lifetime (paper: up to +23.3%%)\n"
       "BAS-2 vs ccEDF: +%.1f%% lifetime (paper: up to +47%%)\n"
       "BAS-2 vs EDF-noDVS: +%.1f%% lifetime (paper: up to +100%%)\n",
       100.0 * (bas2_life / laedf_life - 1.0),
-      100.0 * (bas2_life / lifetime[1].mean() - 1.0),
+      100.0 * (bas2_life / result.mean(1, kLife) - 1.0),
       100.0 * (bas2_life / edf_life - 1.0));
 
   if (const auto csv = cli.get("csv"); !csv.empty()) {
-    table.write_csv(csv);
+    exp::write(result, csv);
     std::printf("wrote %s\n", csv.c_str());
   }
   return 0;

@@ -1,0 +1,62 @@
+#include "exp/factories.hpp"
+
+#include <stdexcept>
+
+#include "battery/diffusion.hpp"
+#include "battery/ideal.hpp"
+#include "battery/kibam.hpp"
+#include "battery/peukert.hpp"
+#include "battery/stochastic.hpp"
+
+namespace bas::exp {
+
+const std::vector<std::string>& battery_labels() {
+  static const std::vector<std::string> labels{
+      "ideal", "peukert", "kibam", "diffusion", "stochastic"};
+  return labels;
+}
+
+std::unique_ptr<bat::Battery> make_battery(const std::string& label) {
+  if (label == "ideal") {
+    return std::make_unique<bat::IdealBattery>(bat::to_coulombs(2000.0));
+  }
+  if (label == "peukert") {
+    return std::make_unique<bat::PeukertBattery>(
+        bat::PeukertParams{bat::to_coulombs(2000.0), 1.2, 0.2});
+  }
+  if (label == "kibam") {
+    return std::make_unique<bat::KibamBattery>(
+        bat::KibamParams::paper_aaa_nimh());
+  }
+  if (label == "diffusion") {
+    return std::make_unique<bat::DiffusionBattery>(
+        bat::DiffusionParams::paper_aaa_nimh());
+  }
+  if (label == "stochastic") {
+    return std::make_unique<bat::StochasticBattery>(bat::StochasticParams{});
+  }
+  std::string known;
+  for (const auto& l : battery_labels()) {
+    known += (known.empty() ? "" : ", ") + l;
+  }
+  throw std::invalid_argument("unknown battery model '" + label +
+                              "' (known: " + known + ")");
+}
+
+Axis battery_axis() { return Axis{"battery", battery_labels()}; }
+
+std::vector<std::string> scheme_labels() {
+  std::vector<std::string> labels;
+  for (const auto kind : core::table2_schemes()) {
+    labels.push_back(core::to_string(kind));
+  }
+  return labels;
+}
+
+core::SchemeKind scheme_kind_at(std::size_t i) {
+  return core::table2_schemes().at(i);
+}
+
+Axis scheme_axis() { return Axis{"scheme", scheme_labels()}; }
+
+}  // namespace bas::exp

@@ -1,0 +1,39 @@
+#pragma once
+// Shared axis/object factories for bench sweeps.
+//
+// The bench drivers used to duplicate these lists: the battery-model
+// ladder (calibrated to the paper's 2000 mAh AAA NiMH cell where the
+// model has parameters to calibrate) and the five Table-2 scheduling
+// schemes. Keeping label -> object construction here means a Job's axis
+// index is all a run function needs to build its own private instances.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "battery/model.hpp"
+#include "core/scheme.hpp"
+#include "exp/grid.hpp"
+
+namespace bas::exp {
+
+/// {"ideal", "peukert", "kibam", "diffusion", "stochastic"}.
+const std::vector<std::string>& battery_labels();
+
+/// Fresh battery by label; throws std::invalid_argument on an unknown
+/// one (the message lists the valid labels).
+std::unique_ptr<bat::Battery> make_battery(const std::string& label);
+
+/// Axis "battery" over battery_labels().
+Axis battery_axis();
+
+/// Table-2 scheme labels in the paper's order (EDF .. BAS-2).
+std::vector<std::string> scheme_labels();
+
+/// The SchemeKind behind scheme_labels()[i].
+core::SchemeKind scheme_kind_at(std::size_t i);
+
+/// Axis "scheme" over scheme_labels().
+Axis scheme_axis();
+
+}  // namespace bas::exp

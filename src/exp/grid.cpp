@@ -1,0 +1,69 @@
+#include "exp/grid.hpp"
+
+#include <stdexcept>
+
+namespace bas::exp {
+
+Grid::Grid(std::vector<Axis> axes) {
+  for (auto& axis : axes) {
+    add(std::move(axis.name), std::move(axis.labels));
+  }
+}
+
+Grid& Grid::add(std::string name, std::vector<std::string> labels) {
+  if (name.empty()) {
+    throw std::invalid_argument("Grid axis needs a name");
+  }
+  if (labels.empty()) {
+    throw std::invalid_argument("Grid axis '" + name + "' has no values");
+  }
+  axes_.push_back(Axis{std::move(name), std::move(labels)});
+  return *this;
+}
+
+std::size_t Grid::cell_count() const noexcept {
+  std::size_t count = 1;
+  for (const auto& axis : axes_) {
+    count *= axis.size();
+  }
+  return count;
+}
+
+std::vector<std::size_t> Grid::coord(std::size_t cell) const {
+  if (cell >= cell_count()) {
+    throw std::out_of_range("Grid cell index out of range");
+  }
+  std::vector<std::size_t> coord(axes_.size(), 0);
+  for (std::size_t i = axes_.size(); i-- > 0;) {
+    coord[i] = cell % axes_[i].size();
+    cell /= axes_[i].size();
+  }
+  return coord;
+}
+
+std::size_t Grid::index(const std::vector<std::size_t>& coord) const {
+  if (coord.size() != axes_.size()) {
+    throw std::out_of_range("Grid coordinate arity mismatch");
+  }
+  std::size_t cell = 0;
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (coord[i] >= axes_[i].size()) {
+      throw std::out_of_range("Grid coordinate out of range on axis " +
+                              axes_[i].name);
+    }
+    cell = cell * axes_[i].size() + coord[i];
+  }
+  return cell;
+}
+
+std::vector<std::string> Grid::labels(std::size_t cell) const {
+  const auto c = coord(cell);
+  std::vector<std::string> labels;
+  labels.reserve(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    labels.push_back(axes_[i].labels[c[i]]);
+  }
+  return labels;
+}
+
+}  // namespace bas::exp

@@ -1,0 +1,56 @@
+#pragma once
+// Declarative experiment grids.
+//
+// Every table and figure of the paper is an average over a cross product
+// of factors (scheme x battery model x utilization x workload x seed).
+// A Grid names those factors as ordered axes of labeled values; the
+// cross product defines the cells of a sweep. Cells enumerate in
+// row-major order with the LAST axis varying fastest, i.e. exactly like
+// the nested for-loops the bench drivers used to hand-roll.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bas::exp {
+
+/// One experimental factor: a name and the labels of its values. The
+/// label is display/CSV text; drivers map the value *index* to objects
+/// (schemes, batteries, parameter structs).
+struct Axis {
+  std::string name;
+  std::vector<std::string> labels;
+
+  std::size_t size() const noexcept { return labels.size(); }
+};
+
+class Grid {
+ public:
+  Grid() = default;
+  explicit Grid(std::vector<Axis> axes);
+
+  /// Appends an axis; returns *this for chaining. Throws
+  /// std::invalid_argument on an empty name or label list.
+  Grid& add(std::string name, std::vector<std::string> labels);
+
+  std::size_t axis_count() const noexcept { return axes_.size(); }
+  const Axis& axis(std::size_t i) const { return axes_.at(i); }
+  const std::vector<Axis>& axes() const noexcept { return axes_; }
+
+  /// Product of axis sizes; 1 for an axis-free grid (a single cell).
+  std::size_t cell_count() const noexcept;
+
+  /// Flat cell index -> per-axis value indices (last axis fastest).
+  std::vector<std::size_t> coord(std::size_t cell) const;
+
+  /// Inverse of coord(). Throws std::out_of_range on a bad coordinate.
+  std::size_t index(const std::vector<std::size_t>& coord) const;
+
+  /// Axis labels of a cell, in axis order.
+  std::vector<std::string> labels(std::size_t cell) const;
+
+ private:
+  std::vector<Axis> axes_;
+};
+
+}  // namespace bas::exp

@@ -1,0 +1,44 @@
+#pragma once
+// One unit of work of an experiment sweep: a (cell, replicate) pair with
+// deterministically derived seeds.
+//
+// Seed discipline (the contract that makes sweeps bit-reproducible for
+// any --jobs value):
+//
+//   seed            unique per job — hash of (spec seed, coordinates,
+//                   replicate). Use for anything private to the job.
+//   cell_seed       shared by all replicates of one cell.
+//   replicate_seed  shared by all cells of one replicate. Use it for
+//                   workload generation and actual-computation draws so
+//                   cells compared across an axis see common random
+//                   numbers (CRN) — the paper's per-set evaluation runs
+//                   every scheme on the same random task-graph sets.
+//
+// All three are pure functions of the coordinates, never of execution
+// order or thread identity.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bas::exp {
+
+struct Job {
+  /// Flat job index in [0, cell_count * replicates); replicates of a
+  /// cell are contiguous.
+  std::size_t index = 0;
+  /// Flat cell index into the spec's grid.
+  std::size_t cell = 0;
+  /// Per-axis value indices of the cell.
+  std::vector<std::size_t> coord;
+  int replicate = 0;
+
+  std::uint64_t seed = 0;
+  std::uint64_t cell_seed = 0;
+  std::uint64_t replicate_seed = 0;
+
+  /// Value index of this job on axis `axis`.
+  std::size_t at(std::size_t axis) const { return coord.at(axis); }
+};
+
+}  // namespace bas::exp

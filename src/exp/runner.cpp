@@ -1,0 +1,146 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bas::exp {
+
+namespace {
+
+// Domain-separation tags so cell seeds, replicate seeds and job seeds
+// can never collide even for coinciding coordinate values.
+constexpr std::uint64_t kCellDomain = 0x9d8f0c3b5a1e77c1ULL;
+constexpr std::uint64_t kReplicateDomain = 0x6a09e667f3bcc909ULL;
+
+Job make_job(const ExperimentSpec& spec, std::size_t index) {
+  const auto replicates = static_cast<std::size_t>(spec.replicates);
+  Job job;
+  job.index = index;
+  job.cell = index / replicates;
+  job.replicate = static_cast<int>(index % replicates);
+  job.coord = spec.grid.coord(job.cell);
+
+  std::vector<std::uint64_t> tags;
+  tags.reserve(job.coord.size() + 1);
+  tags.push_back(kCellDomain);
+  for (const auto c : job.coord) {
+    tags.push_back(static_cast<std::uint64_t>(c));
+  }
+  job.cell_seed = util::derive_seed(spec.seed, tags.data(), tags.size());
+  job.replicate_seed = util::derive_seed(
+      spec.seed,
+      {kReplicateDomain, static_cast<std::uint64_t>(job.replicate)});
+  job.seed = util::Rng::hash_combine(
+      job.cell_seed, static_cast<std::uint64_t>(job.replicate));
+  return job;
+}
+
+}  // namespace
+
+Runner::Runner(RunnerOptions options) : options_(options) {}
+
+ExperimentResult Runner::run(const ExperimentSpec& spec) const {
+  if (!spec.run) {
+    throw std::invalid_argument("experiment '" + spec.title +
+                                "' has no run function");
+  }
+  if (spec.metrics.empty()) {
+    throw std::invalid_argument("experiment '" + spec.title +
+                                "' declares no metrics");
+  }
+  if (spec.replicates < 1) {
+    throw std::invalid_argument("experiment '" + spec.title +
+                                "' needs replicates >= 1");
+  }
+
+  const std::size_t n_jobs = spec.job_count();
+  std::vector<std::vector<double>> results(n_jobs);
+
+  std::mutex error_mutex;
+  std::string first_error;
+  std::atomic<bool> failed{false};
+  std::atomic<std::size_t> next{0};
+
+  auto work = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_jobs) {
+        return;
+      }
+      try {
+        const Job job = make_job(spec, i);
+        auto metrics = spec.run(job);
+        if (metrics.size() != spec.metrics.size()) {
+          throw std::runtime_error(
+              "job returned " + std::to_string(metrics.size()) +
+              " metrics, expected " + std::to_string(spec.metrics.size()));
+        }
+        results[i] = std::move(metrics);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) {
+          first_error = e.what();
+        }
+        return;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) {
+          first_error = "job threw a non-standard exception";
+        }
+        return;
+      }
+    }
+  };
+
+  int threads = options_.jobs;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(1, threads);
+  const auto pool_size =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), n_jobs);
+
+  if (pool_size <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(pool_size);
+    for (std::size_t t = 0; t < pool_size; ++t) {
+      pool.emplace_back(work);
+    }
+    for (auto& thread : pool) {
+      thread.join();
+    }
+  }
+
+  if (failed.load()) {
+    throw std::runtime_error("experiment '" + spec.title +
+                             "' failed: " + first_error);
+  }
+
+  // Sequential fold in job order: replicates of a cell are contiguous,
+  // so each Accumulator sees its samples in replicate order no matter
+  // how the pool interleaved execution.
+  ExperimentResult result(spec.title, spec.grid, spec.metrics,
+                          spec.replicates);
+  for (std::size_t i = 0; i < n_jobs; ++i) {
+    const std::size_t cell = i / static_cast<std::size_t>(spec.replicates);
+    auto& stats = result.cell(cell);
+    for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+      stats.metrics[m].add(results[i][m]);
+    }
+  }
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec, int jobs) {
+  return Runner(RunnerOptions{jobs}).run(spec);
+}
+
+}  // namespace bas::exp

@@ -1,0 +1,44 @@
+#pragma once
+// Parallel experiment runner.
+//
+// Expands an ExperimentSpec's grid into (cell, replicate) jobs, executes
+// them on a worker pool, and aggregates metrics into per-cell
+// Accumulators. Two properties are guaranteed:
+//
+//  1. Determinism for any thread count. Job seeds are pure functions of
+//     grid coordinates (job.hpp), each job stores its metrics into a
+//     slot indexed by job id, and the fold into Accumulators happens
+//     after the pool drains, in job order. jobs=1 and jobs=64 produce
+//     bit-identical aggregates.
+//  2. Isolation. The spec's run function receives only the Job; it is
+//     expected to build its own Scheme / Battery / TaskGraphSet, so no
+//     mutable state is shared between workers.
+
+#include "exp/experiment.hpp"
+
+namespace bas::exp {
+
+struct RunnerOptions {
+  /// Worker threads; <= 0 selects std::thread::hardware_concurrency().
+  int jobs = 1;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {});
+
+  /// Runs every job of the spec. Throws std::invalid_argument on a
+  /// malformed spec (no run function, no metrics, replicates < 1) and
+  /// std::runtime_error when a job throws or returns the wrong number of
+  /// metrics (the first failure is reported; remaining jobs are
+  /// abandoned).
+  ExperimentResult run(const ExperimentSpec& spec) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+/// One-shot convenience: Runner{{.jobs = jobs}}.run(spec).
+ExperimentResult run_experiment(const ExperimentSpec& spec, int jobs = 1);
+
+}  // namespace bas::exp

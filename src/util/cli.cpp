@@ -1,13 +1,23 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace bas::util {
 
 Cli::Cli(int argc, const char* const* argv,
          std::map<std::string, std::string> defaults)
     : values_(std::move(defaults)) {
+  // Flag-ness is fixed by the declared default, never by the current
+  // value — a value option that happens to hold "0"/"1" (e.g. --seed 1)
+  // must still consume `--seed 7`'s argument.
+  for (const auto& [key, value] : values_) {
+    if (value == "false" || value == "true") {
+      flags_.push_back(key);
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -25,12 +35,19 @@ Cli::Cli(int argc, const char* const* argv,
     }
     const auto it = values_.find(name);
     if (it == values_.end()) {
-      throw std::runtime_error("unknown option --" + name);
+      std::ostringstream msg;
+      msg << "unknown option --" << name << " (known options:";
+      for (const auto& [key, unused] : values_) {
+        msg << " --" << key;
+      }
+      msg << ")";
+      throw std::runtime_error(msg.str());
     }
-    const bool is_flag = it->second == "0" || it->second == "1";
+    const bool is_flag =
+        std::find(flags_.begin(), flags_.end(), name) != flags_.end();
     if (!has_value) {
       if (is_flag) {
-        value = "1";
+        value = "true";
       } else if (i + 1 < argc) {
         value = argv[++i];
       } else {
@@ -39,6 +56,35 @@ Cli::Cli(int argc, const char* const* argv,
     }
     it->second = value;
   }
+}
+
+std::map<std::string, std::string> Cli::with_bench_defaults(
+    std::map<std::string, std::string> defaults) {
+  defaults.emplace("jobs", "auto");
+  defaults.emplace("csv", "");
+  return defaults;
+}
+
+int Cli::jobs() const {
+  const std::string value = get("jobs");
+  if (value == "auto" || value == "0") {
+    return std::max(1u, std::thread::hardware_concurrency());
+  }
+  long long parsed = 0;
+  std::size_t consumed = 0;
+  try {
+    parsed = std::stoll(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  // Reject trailing garbage ("4x") and out-of-range counts rather than
+  // silently truncating.
+  if (consumed != value.size() || parsed < 1 || parsed > 4096) {
+    throw std::runtime_error(
+        "option --jobs expects a thread count in [1, 4096] or 'auto', got '" +
+        value + "'");
+  }
+  return static_cast<int>(parsed);
 }
 
 bool Cli::has(const std::string& name) const {

@@ -13,10 +13,28 @@ namespace bas::util {
 
 class Cli {
  public:
-  /// Parses argv. `spec` maps option name (without dashes) to a default
-  /// value; the empty string marks a boolean flag (value "0"/"1").
+  /// Parses argv. `defaults` maps option name (without dashes) to a
+  /// default value. An option whose default is exactly "false" or
+  /// "true" is a boolean flag: bare `--name` sets it to "true" and it
+  /// never consumes the following argument (use `--name=false` to
+  /// override explicitly). Every other option requires a value.
+  /// Unknown options throw std::runtime_error naming the known options.
   Cli(int argc, const char* const* argv,
       std::map<std::string, std::string> defaults);
+
+  /// Merges the options every sweep-style bench shares into `defaults`
+  /// (without overriding caller-provided entries):
+  ///   --jobs N    worker threads for the experiment engine
+  ///               ("auto" = hardware concurrency; results are
+  ///               bit-identical for any value)
+  ///   --csv PATH  write aggregated cells as CSV (.json for JSON)
+  static std::map<std::string, std::string> with_bench_defaults(
+      std::map<std::string, std::string> defaults);
+
+  /// Resolved worker-thread count from --jobs: "auto" (or "0") maps to
+  /// the hardware concurrency; anything else must be an integer in
+  /// [1, 4096] or std::runtime_error is thrown.
+  int jobs() const;
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name) const;
@@ -34,6 +52,7 @@ class Cli {
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> flags_;
   std::vector<std::string> positional_;
 };
 

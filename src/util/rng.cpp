@@ -106,4 +106,18 @@ std::uint64_t Rng::mix(std::uint64_t x) noexcept {
   return x ^ (x >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t base, const std::uint64_t* tags,
+                          std::size_t count) noexcept {
+  std::uint64_t seed = Rng::mix(base);
+  for (std::size_t i = 0; i < count; ++i) {
+    seed = Rng::hash_combine(seed, tags[i]);
+  }
+  return seed;
+}
+
+std::uint64_t derive_seed(std::uint64_t base,
+                          std::initializer_list<std::uint64_t> tags) noexcept {
+  return derive_seed(base, tags.begin(), tags.size());
+}
+
 }  // namespace bas::util

@@ -7,7 +7,9 @@
 // of (set seed, graph, instance, node) is derived by hashing those
 // coordinates rather than by consuming a shared stream (see derive()).
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 
 namespace bas::util {
@@ -61,5 +63,15 @@ class Rng {
  private:
   std::uint64_t s_[4];
 };
+
+/// Folds `tags` into `base` with Rng::hash_combine — the canonical way to
+/// derive a sub-experiment seed from grid coordinates (scheme index,
+/// replicate number, ...). Pure and stateless, so the result depends only
+/// on the coordinates: two jobs with equal coordinates get equal seeds on
+/// every platform and for any thread count.
+std::uint64_t derive_seed(std::uint64_t base, const std::uint64_t* tags,
+                          std::size_t count) noexcept;
+std::uint64_t derive_seed(std::uint64_t base,
+                          std::initializer_list<std::uint64_t> tags) noexcept;
 
 }  // namespace bas::util

@@ -1,0 +1,351 @@
+// Tests for the experiment engine: grid expansion, seed derivation,
+// thread-count-independent determinism, sinks, and the shared bench CLI
+// options.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/factories.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
+#include "sim/simulator.hpp"
+#include "tgff/workload.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace bas {
+namespace {
+
+// ---------------------------------------------------------------- Grid
+
+TEST(Grid, CellCountIsAxisProduct) {
+  exp::Grid grid;
+  EXPECT_EQ(grid.cell_count(), 1u);  // axis-free grid: one cell
+  grid.add("a", {"x", "y"}).add("b", {"p", "q", "r"});
+  EXPECT_EQ(grid.axis_count(), 2u);
+  EXPECT_EQ(grid.cell_count(), 6u);
+}
+
+TEST(Grid, LastAxisVariesFastest) {
+  exp::Grid grid;
+  grid.add("a", {"a0", "a1"}).add("b", {"b0", "b1", "b2"});
+  EXPECT_EQ(grid.coord(0), (std::vector<std::size_t>{0, 0}));
+  EXPECT_EQ(grid.coord(1), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(grid.coord(2), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(grid.coord(3), (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(grid.coord(5), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Grid, IndexInvertsCoord) {
+  exp::Grid grid;
+  grid.add("a", {"a0", "a1"}).add("b", {"b0", "b1", "b2"}).add("c",
+                                                               {"c0", "c1"});
+  for (std::size_t cell = 0; cell < grid.cell_count(); ++cell) {
+    EXPECT_EQ(grid.index(grid.coord(cell)), cell);
+  }
+}
+
+TEST(Grid, LabelsFollowCoord) {
+  exp::Grid grid;
+  grid.add("a", {"a0", "a1"}).add("b", {"b0", "b1", "b2"});
+  EXPECT_EQ(grid.labels(4), (std::vector<std::string>{"a1", "b1"}));
+}
+
+TEST(Grid, RejectsMalformedAxes) {
+  exp::Grid grid;
+  EXPECT_THROW(grid.add("", {"x"}), std::invalid_argument);
+  EXPECT_THROW(grid.add("a", {}), std::invalid_argument);
+  grid.add("a", {"x"});
+  EXPECT_THROW(grid.coord(1), std::out_of_range);
+  EXPECT_THROW(grid.index({1}), std::out_of_range);
+  EXPECT_THROW(grid.index({0, 0}), std::out_of_range);
+}
+
+// ------------------------------------------------------- seed derivation
+
+TEST(DeriveSeed, DeterministicAndSensitiveToEveryTag) {
+  EXPECT_EQ(util::derive_seed(1, {2, 3}), util::derive_seed(1, {2, 3}));
+  EXPECT_NE(util::derive_seed(1, {2, 3}), util::derive_seed(1, {3, 2}));
+  EXPECT_NE(util::derive_seed(1, {2, 3}), util::derive_seed(2, {2, 3}));
+  EXPECT_NE(util::derive_seed(1, {2}), util::derive_seed(1, {2, 0}));
+}
+
+TEST(Runner, JobSeedsFollowTheContract) {
+  exp::ExperimentSpec spec;
+  spec.title = "seed-audit";
+  spec.grid.add("axis", {"v0", "v1", "v2"});
+  spec.metrics = {"zero"};
+  spec.replicates = 2;
+  spec.seed = 99;
+
+  std::mutex mutex;
+  std::map<std::size_t, exp::Job> jobs;
+  spec.run = [&](const exp::Job& job) {
+    std::lock_guard<std::mutex> lock(mutex);
+    jobs[job.index] = job;
+    return std::vector<double>{0.0};
+  };
+  exp::run_experiment(spec, 3);
+
+  ASSERT_EQ(jobs.size(), 6u);
+  // Replicates of a cell are contiguous: index = cell * replicates + rep.
+  EXPECT_EQ(jobs[3].cell, 1u);
+  EXPECT_EQ(jobs[3].replicate, 1);
+  // replicate_seed is shared across cells (common random numbers)...
+  EXPECT_EQ(jobs[0].replicate_seed, jobs[2].replicate_seed);
+  EXPECT_EQ(jobs[0].replicate_seed, jobs[4].replicate_seed);
+  EXPECT_NE(jobs[0].replicate_seed, jobs[1].replicate_seed);
+  // ...cell_seed across replicates...
+  EXPECT_EQ(jobs[0].cell_seed, jobs[1].cell_seed);
+  EXPECT_NE(jobs[0].cell_seed, jobs[2].cell_seed);
+  // ...and the job seed is unique.
+  std::vector<std::uint64_t> seeds;
+  for (const auto& [index, job] : jobs) {
+    seeds.push_back(job.seed);
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::unique(seeds.begin(), seeds.end()), seeds.end());
+}
+
+// ----------------------------------------------------------- the runner
+
+exp::ExperimentSpec tiny_table2_spec() {
+  // A miniature Table-2 sweep: every scheme on kibam over 3 sets, with a
+  // short horizon so the whole thing runs in well under a second.
+  exp::ExperimentSpec spec;
+  spec.title = "tiny-table2";
+  spec.grid.add("scheme", exp::scheme_labels());
+  spec.metrics = {"lifetime_min", "delivered_mah", "energy_j"};
+  spec.replicates = 3;
+  spec.seed = 2006;
+  spec.run = [](const exp::Job& job) {
+    util::Rng rng(job.replicate_seed);
+    tgff::WorkloadParams wp;
+    wp.graph_count = 2;
+    wp.target_utilization = 0.7 / 0.6;
+    wp.period_lo_s = 0.1;
+    wp.period_hi_s = 0.5;
+    const auto set = tgff::make_workload(wp, rng);
+
+    sim::SimConfig config;
+    config.horizon_s = 30.0;
+    config.drain = false;
+    config.record_profile = false;
+    config.ac_model = sim::AcModel::kPerNodeMean;
+    config.seed = util::Rng::hash_combine(job.replicate_seed, 1000u);
+
+    const auto battery = exp::make_battery("kibam");
+    const auto proc = dvs::Processor::paper_default();
+    const auto r = sim::simulate_scheme(
+        set, proc, exp::scheme_kind_at(job.at(0)), config, battery.get());
+    return std::vector<double>{r.battery_lifetime_s / 60.0,
+                               r.battery_delivered_mah, r.energy_j};
+  };
+  return spec;
+}
+
+TEST(Runner, BitIdenticalForAnyThreadCount) {
+  const auto spec = tiny_table2_spec();
+  const auto serial = exp::run_experiment(spec, 1);
+  const auto parallel = exp::run_experiment(spec, 4);
+
+  ASSERT_EQ(serial.cell_count(), parallel.cell_count());
+  for (std::size_t c = 0; c < serial.cell_count(); ++c) {
+    for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+      // Bitwise, not approximate: the engine promises byte-identical
+      // aggregation for any --jobs value.
+      const double a[] = {serial.at(c, m).mean(), serial.at(c, m).stddev(),
+                          serial.at(c, m).min(), serial.at(c, m).max(),
+                          serial.at(c, m).sum()};
+      const double b[] = {parallel.at(c, m).mean(),
+                          parallel.at(c, m).stddev(), parallel.at(c, m).min(),
+                          parallel.at(c, m).max(), parallel.at(c, m).sum()};
+      EXPECT_EQ(0, std::memcmp(a, b, sizeof(a)))
+          << "cell " << c << " metric " << m;
+      EXPECT_EQ(serial.at(c, m).count(), parallel.at(c, m).count());
+    }
+  }
+  EXPECT_EQ(exp::to_csv(serial), exp::to_csv(parallel));
+  EXPECT_EQ(exp::to_json(serial), exp::to_json(parallel));
+}
+
+TEST(Runner, AggregatesInReplicateOrder) {
+  exp::ExperimentSpec spec;
+  spec.title = "identity";
+  spec.grid.add("cell", {"c0", "c1"});
+  spec.metrics = {"replicate"};
+  spec.replicates = 8;
+  spec.run = [](const exp::Job& job) {
+    return std::vector<double>{static_cast<double>(job.replicate)};
+  };
+  const auto result = exp::run_experiment(spec, 4);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(result.at(c, 0).count(), 8u);
+    EXPECT_DOUBLE_EQ(result.at(c, 0).mean(), 3.5);
+    EXPECT_DOUBLE_EQ(result.at(c, 0).min(), 0.0);
+    EXPECT_DOUBLE_EQ(result.at(c, 0).max(), 7.0);
+  }
+}
+
+TEST(Runner, PropagatesJobErrors) {
+  exp::ExperimentSpec spec;
+  spec.title = "exploding";
+  spec.grid.add("cell", {"c0", "c1"});
+  spec.metrics = {"x"};
+  spec.replicates = 2;
+  spec.run = [](const exp::Job& job) -> std::vector<double> {
+    if (job.index == 2) {
+      throw std::runtime_error("boom");
+    }
+    return {1.0};
+  };
+  EXPECT_THROW(exp::run_experiment(spec, 2), std::runtime_error);
+}
+
+TEST(Runner, RejectsWrongMetricArity) {
+  exp::ExperimentSpec spec;
+  spec.title = "arity";
+  spec.grid.add("cell", {"c0"});
+  spec.metrics = {"x", "y"};
+  spec.run = [](const exp::Job&) { return std::vector<double>{1.0}; };
+  EXPECT_THROW(exp::run_experiment(spec, 1), std::runtime_error);
+}
+
+TEST(Runner, RejectsMalformedSpecs) {
+  exp::ExperimentSpec spec;
+  spec.title = "malformed";
+  spec.grid.add("cell", {"c0"});
+  spec.metrics = {"x"};
+  EXPECT_THROW(exp::run_experiment(spec, 1), std::invalid_argument);  // no run
+  spec.run = [](const exp::Job&) { return std::vector<double>{1.0}; };
+  spec.replicates = 0;
+  EXPECT_THROW(exp::run_experiment(spec, 1), std::invalid_argument);
+  spec.replicates = 1;
+  spec.metrics.clear();
+  EXPECT_THROW(exp::run_experiment(spec, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ the sinks
+
+TEST(Sink, CsvHasHeaderAndOneRowPerCell) {
+  exp::ExperimentSpec spec;
+  spec.title = "csv";
+  spec.grid.add("a", {"x", "y"}).add("b", {"p", "q", "r"});
+  spec.metrics = {"value"};
+  spec.replicates = 2;
+  spec.run = [](const exp::Job& job) {
+    return std::vector<double>{static_cast<double>(job.cell)};
+  };
+  const auto result = exp::run_experiment(spec, 2);
+  const auto csv = exp::to_csv(result);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);  // header + 6 cells
+  EXPECT_EQ(csv.rfind("a,b,value_count,value_mean,value_stddev,value_min,"
+                      "value_max,value_sum\n",
+                      0),
+            0u);
+  EXPECT_NE(csv.find("\ny,r,2,5,0,5,5,10\n"), std::string::npos);
+}
+
+TEST(Sink, CsvQuotesAwkwardLabelsAndMetricNames) {
+  exp::ExperimentSpec spec;
+  spec.title = "csv-escape";
+  spec.grid.add("axis", {"plain", "with,comma"});
+  spec.metrics = {"lifetime,min"};
+  spec.run = [](const exp::Job&) { return std::vector<double>{1.0}; };
+  const auto csv = exp::to_csv(exp::run_experiment(spec, 1));
+  // The _stat suffix must land inside the quotes, not after them.
+  EXPECT_NE(csv.find("\"lifetime,min_mean\""), std::string::npos);
+  EXPECT_NE(csv.find("\n\"with,comma\","), std::string::npos);
+}
+
+TEST(Sink, JsonEscapesControlCharacters) {
+  exp::ExperimentSpec spec;
+  spec.title = "tab\there";
+  spec.grid.add("axis", {"v0"});
+  spec.metrics = {"m"};
+  spec.run = [](const exp::Job&) { return std::vector<double>{1.0}; };
+  const auto json = exp::to_json(exp::run_experiment(spec, 1));
+  EXPECT_NE(json.find("tab\\u0009here"), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
+TEST(Sink, JsonMentionsAxesMetricsAndCells) {
+  exp::ExperimentSpec spec;
+  spec.title = "json \"quoted\"";
+  spec.grid.add("axis", {"v0"});
+  spec.metrics = {"m"};
+  spec.run = [](const exp::Job&) { return std::vector<double>{1.5}; };
+  const auto json = exp::to_json(exp::run_experiment(spec, 1));
+  EXPECT_NE(json.find("\"title\": \"json \\\"quoted\\\"\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"axis\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": 1.5"), std::string::npos);
+}
+
+// -------------------------------------------------------- the factories
+
+TEST(Factories, EveryBatteryLabelBuilds) {
+  for (const auto& label : exp::battery_labels()) {
+    const auto battery = exp::make_battery(label);
+    ASSERT_NE(battery, nullptr);
+    EXPECT_EQ(battery->name(), label);
+  }
+  EXPECT_THROW(exp::make_battery("unobtainium"), std::invalid_argument);
+}
+
+TEST(Factories, SchemeAxisMatchesTable2) {
+  const auto labels = exp::scheme_labels();
+  ASSERT_EQ(labels.size(), core::table2_schemes().size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels[i], core::to_string(exp::scheme_kind_at(i)));
+  }
+}
+
+// ------------------------------------------------------ bench CLI flags
+
+TEST(Cli, BenchDefaultsAddJobsAndCsv) {
+  const char* argv[] = {"bench"};
+  util::Cli cli(1, argv, util::Cli::with_bench_defaults({{"sets", "5"}}));
+  EXPECT_EQ(cli.get("sets"), "5");
+  EXPECT_EQ(cli.get("jobs"), "auto");
+  EXPECT_EQ(cli.get("csv"), "");
+  EXPECT_GE(cli.jobs(), 1);
+}
+
+TEST(Cli, BenchDefaultsDoNotOverrideCallerValues) {
+  const char* argv[] = {"bench"};
+  util::Cli cli(1, argv, util::Cli::with_bench_defaults({{"jobs", "3"}}));
+  EXPECT_EQ(cli.jobs(), 3);
+}
+
+TEST(Cli, JobsParsesExplicitCounts) {
+  const char* argv[] = {"bench", "--jobs", "7"};
+  util::Cli cli(3, argv, util::Cli::with_bench_defaults({}));
+  EXPECT_EQ(cli.jobs(), 7);
+  const char* argv0[] = {"bench", "--jobs", "0"};
+  util::Cli auto_cli(3, argv0, util::Cli::with_bench_defaults({}));
+  EXPECT_GE(auto_cli.jobs(), 1);
+}
+
+TEST(Cli, UnknownOptionErrorNamesKnownOptions) {
+  const char* argv[] = {"bench", "--stes", "5"};
+  try {
+    util::Cli cli(3, argv, util::Cli::with_bench_defaults({{"sets", "5"}}));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown option --stes"), std::string::npos);
+    EXPECT_NE(message.find("--sets"), std::string::npos);
+    EXPECT_NE(message.find("--jobs"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bas

@@ -182,10 +182,21 @@ TEST(Table, NumFormatsPrecision) {
 TEST(Cli, ParsesValuesAndFlags) {
   const char* argv[] = {"prog", "--sets", "25", "--full", "--seed=9"};
   util::Cli cli(5, argv,
-                {{"sets", "10"}, {"full", "0"}, {"seed", "1"}});
+                {{"sets", "10"}, {"full", "false"}, {"seed", "1"}});
   EXPECT_EQ(cli.get_int("sets"), 25);
   EXPECT_TRUE(cli.get_flag("full"));
   EXPECT_EQ(cli.get_u64("seed"), 9u);
+}
+
+TEST(Cli, ValueOptionHoldingZeroOrOneStillConsumesItsArgument) {
+  // Regression: flag-ness comes from the declared default ("false" /
+  // "true"), never from the current value, so --seed 7 must not be
+  // misread as a bare flag just because the default is "1".
+  const char* argv[] = {"prog", "--seed", "7", "--full"};
+  util::Cli cli(4, argv, {{"seed", "1"}, {"full", "false"}});
+  EXPECT_EQ(cli.get_u64("seed"), 7u);
+  EXPECT_TRUE(cli.get_flag("full"));
+  EXPECT_TRUE(cli.positional().empty());
 }
 
 TEST(Cli, DefaultsApply) {
