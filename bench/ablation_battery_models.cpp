@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.title = "ablation_battery_models";
+  spec.config = cli.config_summary();
   spec.grid = exp::Grid{std::vector<exp::Axis>{exp::battery_axis(),
                                                exp::scheme_axis()}};
   spec.metrics = {"lifetime_min"};
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
     return {r.battery_lifetime_s / 60.0};
   };
 
-  const auto result = exp::run_experiment(spec, cli.jobs());
+  const auto result = exp::run_experiment(spec, exp::options_from_cli(cli));
 
   const auto kinds = core::table2_schemes();
   std::vector<std::string> headers{"model"};

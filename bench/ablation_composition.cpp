@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.title = "ablation_composition";
+  spec.config = cli.config_summary();
   spec.grid.add("scope", {"most-imminent", "all-released"});
   std::vector<std::string> dvs_labels;
   for (const auto& d : dvs_rows) {
@@ -107,7 +108,7 @@ int main(int argc, char** argv) {
             static_cast<double>(r.deadline_misses)};
   };
 
-  const auto result = exp::run_experiment(spec, cli.jobs());
+  const auto result = exp::run_experiment(spec, exp::options_from_cli(cli));
 
   double total_misses = 0.0;
   for (std::size_t scope = 0; scope < scopes.size(); ++scope) {

@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.title = "ablation_estimator";
+  spec.config = cli.config_summary();
   spec.grid.add("ac_model", {"per-node-mean", "iid"});
   spec.grid.add("estimator", rung_labels);
   spec.metrics = {"lifetime_min", "delivered_mah", "energy_j"};
@@ -87,7 +88,7 @@ int main(int argc, char** argv) {
     return {r.battery_lifetime_s / 60.0, r.battery_delivered_mah, r.energy_j};
   };
 
-  const auto result = exp::run_experiment(spec, cli.jobs());
+  const auto result = exp::run_experiment(spec, exp::options_from_cli(cli));
 
   for (std::size_t a = 0; a < ac_models.size(); ++a) {
     std::printf("actual-computation model: %s\n",

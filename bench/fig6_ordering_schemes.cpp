@@ -80,6 +80,7 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.title = "fig6_ordering_schemes";
+  spec.config = cli.config_summary();
   spec.grid.add("taskgraphs", graph_labels);
   spec.metrics = {"random", "ltf", "pubs_imminent", "pubs_all"};
   spec.replicates = sets;
@@ -113,7 +114,7 @@ int main(int argc, char** argv) {
     return ratios;
   };
 
-  const auto result = exp::run_experiment(spec, cli.jobs());
+  const auto result = exp::run_experiment(spec, exp::options_from_cli(cli));
 
   util::Table table({"# taskgraphs", "Random", "LTF", "pUBS(imminent)",
                      "pUBS(all released)"});

@@ -11,6 +11,10 @@
 // recovery dynamics (KiBaM, diffusion, stochastic) reward the guideline;
 // the ideal bucket cannot distinguish the orders, and Peukert (no
 // recovery, only rate penalty) is nearly indifferent too.
+//
+// The (model) sweep runs on the experiment engine: one job per battery
+// model evaluates all three arrangements on private clones, so the bench
+// speaks the shared campaign interface (--jobs/--csv/--shard/--cache).
 
 #include <cstdio>
 #include <memory>
@@ -22,10 +26,31 @@
 #include "battery/lifetime.hpp"
 #include "battery/peukert.hpp"
 #include "battery/stochastic.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
+
+std::unique_ptr<bas::bat::Battery> make_model(std::size_t index) {
+  using namespace bas;
+  switch (index) {
+    case 0:
+      return std::make_unique<bat::IdealBattery>(bat::to_coulombs(2000.0));
+    case 1:
+      return std::make_unique<bat::PeukertBattery>(bat::PeukertParams{});
+    case 2:
+      return std::make_unique<bat::KibamBattery>(
+          bat::KibamParams::paper_aaa_nimh());
+    case 3:
+      return std::make_unique<bat::DiffusionBattery>(
+          bat::DiffusionParams::paper_aaa_nimh());
+    default:
+      return std::make_unique<bat::StochasticBattery>(
+          bat::StochasticParams{});
+  }
+}
 
 double pass_and_drain_mah(bas::bat::Battery& battery,
                           const bas::bat::LoadProfile& pass,
@@ -43,7 +68,8 @@ double pass_and_drain_mah(bas::bat::Battery& battery,
 int main(int argc, char** argv) {
   using namespace bas;
   util::Cli cli(argc, argv,
-                {{"csv", ""}, {"step-min", "12"}, {"drain", "2.5"}});
+                util::Cli::with_bench_defaults(
+                    {{"step-min", "12"}, {"drain", "2.5"}}));
   const double step_s = cli.get_double("step-min") * 60.0;
   const double drain_a = cli.get_double("drain");
 
@@ -64,16 +90,10 @@ int main(int argc, char** argv) {
                                   : levels[levels.size() - 1 - k / 2]);
   }
 
-  std::vector<std::unique_ptr<bat::Battery>> models;
-  models.push_back(
-      std::make_unique<bat::IdealBattery>(bat::to_coulombs(2000.0)));
-  models.push_back(std::make_unique<bat::PeukertBattery>(bat::PeukertParams{}));
-  models.push_back(
-      std::make_unique<bat::KibamBattery>(bat::KibamParams::paper_aaa_nimh()));
-  models.push_back(std::make_unique<bat::DiffusionBattery>(
-      bat::DiffusionParams::paper_aaa_nimh()));
-  models.push_back(
-      std::make_unique<bat::StochasticBattery>(bat::StochasticParams{}));
+  std::vector<std::string> model_labels;
+  for (std::size_t i = 0; i < 5; ++i) {
+    model_labels.push_back(make_model(i)->name());
+  }
 
   util::print_banner(
       "Guideline 1: equal-demand staircase order vs total extractable charge");
@@ -83,23 +103,42 @@ int main(int argc, char** argv) {
       levels.size(), step_s / 60.0,
       decreasing.total_charge_c(), drain_a);
 
+  exp::ExperimentSpec spec;
+  spec.title = "guideline1_profile_shape";
+  spec.config = cli.config_summary();
+  spec.grid.add("model", model_labels);
+  spec.metrics = {"non_increasing_mah", "zigzag_mah", "non_decreasing_mah",
+                  "gain_pct"};
+  spec.run = [&](const exp::Job& job) -> std::vector<double> {
+    const double down =
+        pass_and_drain_mah(*make_model(job.at(0)), decreasing, drain_a);
+    const double mix =
+        pass_and_drain_mah(*make_model(job.at(0)), zigzag, drain_a);
+    const double up =
+        pass_and_drain_mah(*make_model(job.at(0)), increasing, drain_a);
+    return {down, mix, up, 100.0 * (down / up - 1.0)};
+  };
+
+  const auto result = exp::run_experiment(spec, exp::options_from_cli(cli));
+
   util::Table table({"model", "non-increasing mAh", "zig-zag mAh",
                      "non-decreasing mAh", "guideline gain"});
-  for (const auto& m : models) {
-    const auto d1 = m->fresh_clone();
-    const auto d2 = m->fresh_clone();
-    const auto d3 = m->fresh_clone();
-    const double down = pass_and_drain_mah(*d1, decreasing, drain_a);
-    const double mix = pass_and_drain_mah(*d2, zigzag, drain_a);
-    const double up = pass_and_drain_mah(*d3, increasing, drain_a);
-    table.add_row({m->name(), util::Table::num(down, 1),
-                   util::Table::num(mix, 1), util::Table::num(up, 1),
-                   util::Table::num(100.0 * (down / up - 1.0), 2) + "%"});
+  for (std::size_t c = 0; c < result.cell_count(); ++c) {
+    table.add_row({result.grid().labels(c)[0],
+                   util::Table::num(result.mean(c, 0), 1),
+                   util::Table::num(result.mean(c, 1), 1),
+                   util::Table::num(result.mean(c, 2), 1),
+                   util::Table::num(result.mean(c, 3), 2) + "%"});
   }
   table.print();
   std::printf(
       "\nShape check: the kinetic family (kibam/diffusion/stochastic) "
       "extracts the most charge under the non-increasing order; ideal and "
       "Peukert are (near-)indifferent.\n");
+
+  if (const auto csv = cli.get("csv"); !csv.empty()) {
+    exp::write(result, csv);
+    std::printf("wrote %s\n", csv.c_str());
+  }
   return 0;
 }

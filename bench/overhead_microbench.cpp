@@ -1,14 +1,145 @@
-// Scheduler overhead microbenchmarks (google-benchmark).
+// Scheduler overhead microbenchmarks.
 //
 // The paper argues its two-step methodology is cheap enough for dynamic
 // (online) use, unlike cost-function optimization over battery models.
 // These benchmarks measure the per-decision costs: frequency selection
 // (ccEDF / laEDF), pUBS scoring, the feasibility check, and a whole
 // simulated second of BAS-2 scheduling.
+//
+// Built against google-benchmark when CMake finds it
+// (BAS_HAVE_GOOGLE_BENCHMARK); otherwise a hand-rolled steady_clock
+// harness below implements the small slice of the benchmark API these
+// functions use (State iteration, range(0), DoNotOptimize, the
+// BENCHMARK registration macros), so the binary always builds and runs.
 
+#ifdef BAS_HAVE_GOOGLE_BENCHMARK
 #include <benchmark/benchmark.h>
+#else
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#endif
 
+#include <algorithm>
 #include <vector>
+
+#ifndef BAS_HAVE_GOOGLE_BENCHMARK
+namespace benchmark {
+
+/// Range-for drives the measured loop exactly like google-benchmark's
+/// State: `for (auto _ : state)` runs a preset number of iterations.
+class State {
+ public:
+  State(std::int64_t iterations, std::vector<std::int64_t> ranges)
+      : iterations_(iterations), ranges_(std::move(ranges)) {}
+
+  /// The `unused` attribute keeps `for (auto _ : state)` free of
+  /// -Wunused warnings (google-benchmark does the same).
+  struct __attribute__((unused)) Value {};
+  struct Iterator {
+    std::int64_t left;
+    bool operator!=(const Iterator& other) const { return left != other.left; }
+    void operator++() { --left; }
+    Value operator*() const { return Value{}; }
+  };
+  Iterator begin() const { return {iterations_}; }
+  Iterator end() const { return {0}; }
+
+  std::int64_t range(std::size_t i = 0) const { return ranges_.at(i); }
+
+ private:
+  std::int64_t iterations_;
+  std::vector<std::int64_t> ranges_;
+};
+
+template <class T>
+inline void DoNotOptimize(T&& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+struct Registration {
+  std::string name;
+  void (*fn)(State&);
+  std::vector<std::int64_t> args;  // one timed instance per arg; empty = one
+
+  Registration* Arg(std::int64_t arg) {
+    args.push_back(arg);
+    return this;
+  }
+};
+
+inline std::vector<Registration*>& registry() {
+  static std::vector<Registration*> benchmarks;
+  return benchmarks;
+}
+
+inline Registration* register_benchmark(const char* name, void (*fn)(State&)) {
+  auto* registration = new Registration{name, fn, {}};
+  registry().push_back(registration);
+  return registration;
+}
+
+inline double time_once(void (*fn)(State&),
+                        const std::vector<std::int64_t>& ranges,
+                        std::int64_t iterations) {
+  State state(iterations, ranges);
+  const auto start = std::chrono::steady_clock::now();
+  fn(state);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+inline void run_instance(const Registration& registration,
+                         const std::vector<std::int64_t>& ranges,
+                         const std::string& label) {
+  // Calibrate: grow the iteration count until the timed region is long
+  // enough (>= 50 ms) to swamp clock granularity.
+  std::int64_t iterations = 1;
+  double elapsed = time_once(registration.fn, ranges, iterations);
+  while (elapsed < 0.05 && iterations < (std::int64_t{1} << 40)) {
+    const double target = 0.1;
+    std::int64_t next =
+        elapsed > 0.0
+            ? static_cast<std::int64_t>(iterations * (target / elapsed) + 1)
+            : iterations * 10;
+    next = std::min(next, iterations * 10);
+    iterations = std::max(next, iterations + 1);
+    elapsed = time_once(registration.fn, ranges, iterations);
+  }
+  std::printf("%-32s %14.1f ns/op %12lld iters\n", label.c_str(),
+              1e9 * elapsed / static_cast<double>(iterations),
+              static_cast<long long>(iterations));
+}
+
+inline void run_all() {
+  std::printf("%-32s %20s %18s\n", "benchmark", "time", "iterations");
+  std::printf("%s\n", std::string(66, '-').c_str());
+  for (const auto* registration : registry()) {
+    if (registration->args.empty()) {
+      run_instance(*registration, {}, registration->name);
+    } else {
+      for (const auto arg : registration->args) {
+        run_instance(*registration, {arg},
+                     registration->name + "/" + std::to_string(arg));
+      }
+    }
+  }
+}
+
+}  // namespace benchmark
+
+#define BENCHMARK(fn)                                \
+  static ::benchmark::Registration* fn##_registration \
+      [[maybe_unused]] = ::benchmark::register_benchmark(#fn, fn)
+#define BENCHMARK_MAIN() \
+  int main() {           \
+    ::benchmark::run_all(); \
+    return 0;            \
+  }
+#endif  // !BAS_HAVE_GOOGLE_BENCHMARK
 
 #include "core/scheme.hpp"
 #include "dvs/policy.hpp"

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.title = "rate_capacity_curve";
+  spec.config = cli.config_summary();
   spec.grid = exp::Grid{}.add("battery", exp::battery_labels())
                   .add("load_a", load_labels);
   spec.metrics = {"delivered_mah", "lifetime_min"};
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
         bat::rate_capacity_curve(*model, {loads[job.at(1)]}).front();
     return {point.delivered_mah, point.lifetime_min};
   };
-  const auto result = exp::run_experiment(spec, cli.jobs());
+  const auto result = exp::run_experiment(spec, exp::options_from_cli(cli));
 
   // Wide layout matching the paper's figure: one row per load, two
   // columns (capacity, lifetime) per model.
@@ -72,13 +73,14 @@ int main(int argc, char** argv) {
   const double probe = cli.get_double("probe");
   exp::ExperimentSpec extrapolate;
   extrapolate.title = "rate_capacity_extrapolation";
+  extrapolate.config = cli.config_summary();
   extrapolate.grid.add("battery", exp::battery_labels());
   extrapolate.metrics = {"max_capacity_mah"};
   extrapolate.run = [&](const exp::Job& job) -> std::vector<double> {
     const auto model = exp::make_battery(exp::battery_labels()[job.at(0)]);
     return {bat::max_capacity_mah(*model, probe)};
   };
-  const auto caps = exp::run_experiment(extrapolate, cli.jobs());
+  const auto caps = exp::run_experiment(extrapolate, exp::options_from_cli(cli));
 
   std::printf("\nExtrapolated maximum capacity (probe %.0f mA):\n",
               probe * 1000);

@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.title = "table1_single_dag";
+  spec.config = cli.config_summary();
   spec.grid.add("tasks", sizes);
   spec.metrics = {"random", "ltf", "stf", "pubs", "pubs_oracle", "exact"};
   spec.replicates = dags;
@@ -115,7 +116,7 @@ int main(int argc, char** argv) {
             opt.exact ? 1.0 : 0.0};
   };
 
-  const auto result = exp::run_experiment(spec, cli.jobs());
+  const auto result = exp::run_experiment(spec, exp::options_from_cli(cli));
 
   util::Table table({"# of tasks", "Random", "LTF", "STF", "pUBS",
                      "pUBS(oracle)", "exact%"});

@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.title = "table2_battery_lifetime";
+  spec.config = cli.config_summary();
   spec.grid.add("scheme", exp::scheme_labels());
   spec.metrics = {"delivered_mah", "lifetime_min", "energy_j", "misses"};
   spec.replicates = sets;
@@ -91,7 +92,7 @@ int main(int argc, char** argv) {
             static_cast<double>(r.deadline_misses)};
   };
 
-  const auto result = exp::run_experiment(spec, cli.jobs());
+  const auto result = exp::run_experiment(spec, exp::options_from_cli(cli));
   const std::size_t kLife = result.metric_index("lifetime_min");
   const std::size_t kDelivered = result.metric_index("delivered_mah");
   const std::size_t kMisses = result.metric_index("misses");

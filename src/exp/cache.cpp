@@ -1,0 +1,140 @@
+#include "exp/cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+#include "exp/plan.hpp"
+#include "exp/sink.hpp"
+
+namespace bas::exp {
+
+namespace {
+
+/// Parses one JSONL record. Returns false (leaving outputs untouched)
+/// on anything malformed — the caller treats that as "not cached".
+bool parse_record(const std::string& line, const std::string& fp_hex,
+                  std::size_t* job_index, std::vector<double>* metrics) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') {
+    return false;
+  }
+  const auto fp_at = line.find("\"fp\":\"");
+  if (fp_at == std::string::npos ||
+      line.compare(fp_at + 6, fp_hex.size(), fp_hex) != 0 ||
+      fp_at + 6 + fp_hex.size() >= line.size() ||
+      line[fp_at + 6 + fp_hex.size()] != '"') {
+    return false;
+  }
+  const auto job_at = line.find("\"job\":");
+  if (job_at == std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  const char* cursor = line.c_str() + job_at + 6;
+  const unsigned long long index = std::strtoull(cursor, &end, 10);
+  if (end == cursor) {
+    return false;
+  }
+  const auto metrics_at = line.find("\"metrics\":[", job_at);
+  if (metrics_at == std::string::npos) {
+    return false;
+  }
+  std::vector<double> values;
+  cursor = line.c_str() + metrics_at + 11;
+  while (*cursor != ']') {
+    const double value = std::strtod(cursor, &end);
+    if (end == cursor) {
+      return false;
+    }
+    values.push_back(value);
+    cursor = end;
+    if (*cursor == ',') {
+      ++cursor;
+    } else if (*cursor != ']') {
+      return false;
+    }
+  }
+  *job_index = static_cast<std::size_t>(index);
+  *metrics = std::move(values);
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir, std::uint64_t fingerprint,
+                         std::string tag)
+    : dir_(std::move(dir)), fingerprint_(fingerprint) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create cache directory '" + dir_ +
+                             "': " + ec.message());
+  }
+  write_path_ = dir_ + "/" + fingerprint_hex(fingerprint_) +
+                (tag.empty() ? "" : "-" + tag) + ".jsonl";
+}
+
+std::map<std::size_t, std::vector<double>> ResultCache::load(
+    std::size_t metric_count) const {
+  std::map<std::size_t, std::vector<double>> cached;
+  const std::string fp_hex = fingerprint_hex(fingerprint_);
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".jsonl") {
+      continue;
+    }
+    std::ifstream file(entry.path());
+    std::string line;
+    while (std::getline(file, line)) {
+      std::size_t job_index = 0;
+      std::vector<double> metrics;
+      if (parse_record(line, fp_hex, &job_index, &metrics) &&
+          metrics.size() == metric_count) {
+        cached[job_index] = std::move(metrics);
+      }
+    }
+  }
+  return cached;
+}
+
+void ResultCache::append(std::size_t job_index,
+                         const std::vector<double>& metrics) {
+  std::string line = "{\"fp\":\"" + fingerprint_hex(fingerprint_) +
+                     "\",\"job\":" + std::to_string(job_index) +
+                     ",\"metrics\":[";
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    if (m) {
+      line += ',';
+    }
+    line += format_double(metrics[m]);
+  }
+  line += "]}\n";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) {
+    // A killed writer can leave the file without a trailing newline;
+    // appending straight onto that torn line would merge two records
+    // (and the torn prefix could steal the new record's metrics). Heal
+    // with a newline so the torn line stays torn and load() skips it.
+    bool needs_newline = false;
+    {
+      std::ifstream existing(write_path_, std::ios::binary | std::ios::ate);
+      if (existing && existing.tellg() > 0) {
+        existing.seekg(-1, std::ios::end);
+        needs_newline = existing.get() != '\n';
+      }
+    }
+    out_.open(write_path_, std::ios::app);
+    if (!out_) {
+      throw std::runtime_error("cannot open cache file '" + write_path_ +
+                               "' for appending");
+    }
+    if (needs_newline) {
+      out_ << '\n';
+    }
+  }
+  out_ << line << std::flush;
+}
+
+}  // namespace bas::exp

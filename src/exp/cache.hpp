@@ -1,0 +1,62 @@
+#pragma once
+// Stage 2's resume cache: an append-only JSONL store of per-job metrics.
+//
+// Every record is one line
+//
+//   {"fp":"<16-hex fingerprint>","job":<index>,"metrics":[<%.17g>...]}
+//
+// keyed on (spec fingerprint, job index). Doubles render with %.17g and
+// parse back bit-identically, so a result folded from cached rows is
+// byte-for-byte the result of a fresh run. Records are flushed line by
+// line: a killed campaign loses at most its in-flight jobs, and load()
+// simply skips a torn final line.
+//
+// Writers never share a file — each (fingerprint, writer tag) pair
+// appends to its own `<fingerprint>[-<tag>].jsonl` — so concurrent shard
+// processes can point at the same --cache DIR. load() scans every
+// *.jsonl file in the directory and filters records by fingerprint,
+// which is also what makes `--merge` work: shard outputs and resumed
+// runs are just more files in the pool.
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bas::exp {
+
+class ResultCache {
+ public:
+  /// Opens the cache in `dir` (created if missing) for one spec
+  /// fingerprint. `tag` distinguishes this writer's file from other
+  /// processes appending to the same directory (e.g. "s0of2"); pass ""
+  /// for an unsharded run. Throws std::runtime_error when the directory
+  /// cannot be created.
+  ResultCache(std::string dir, std::uint64_t fingerprint, std::string tag);
+
+  /// Scans every *.jsonl file in the directory and returns the metrics
+  /// of all records whose fingerprint matches and whose metric count is
+  /// `metric_count`. Stale-fingerprint records, malformed lines and torn
+  /// tails are skipped silently; duplicate job indices keep the record
+  /// read last.
+  std::map<std::size_t, std::vector<double>> load(
+      std::size_t metric_count) const;
+
+  /// Appends one record to this writer's file and flushes. Thread-safe.
+  /// Throws std::runtime_error when the file cannot be opened.
+  void append(std::size_t job_index, const std::vector<double>& metrics);
+
+  /// The file this writer appends to (inside the cache directory).
+  const std::string& write_path() const noexcept { return write_path_; }
+
+ private:
+  std::string dir_;
+  std::uint64_t fingerprint_ = 0;
+  std::string write_path_;
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace bas::exp

@@ -27,6 +27,12 @@ struct ExperimentSpec {
   int replicates = 1;
   /// Root seed; all job seeds derive from it (see job.hpp).
   std::uint64_t seed = 1;
+  /// Extra identity folded into spec_fingerprint() (plan.hpp): driver
+  /// parameters the run function captures in its closure (battery
+  /// label, horizon, utilization, ...) that change job outputs without
+  /// changing grid/metrics/seed. Set it from Cli::config_summary() so
+  /// the resume cache is invalidated when any such parameter changes.
+  std::string config;
 
   /// Evaluates one job and returns exactly metrics.size() values. MUST
   /// be thread-safe: build schemes, batteries and workloads locally from

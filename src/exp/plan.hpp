@@ -1,0 +1,73 @@
+#pragma once
+// Stage 1 of a campaign: planning.
+//
+// A Plan materializes an ExperimentSpec's job manifest — every
+// (cell, replicate) Job with its deterministically derived seeds — and a
+// canonical fingerprint of the spec. The fingerprint covers everything
+// that determines job outputs (title, axes, metric names, replicates,
+// root seed), so it keys the resume cache (cache.hpp): change the grid
+// or the seed and previously cached rows are ignored rather than served
+// as wrong results.
+//
+// Cross-process sharding partitions the manifest round-robin: shard i of
+// n owns the jobs whose index ≡ i (mod n). Because replicates of a cell
+// are contiguous in job order, round-robin spreads every cell across
+// shards, which balances load when cells differ in cost.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/job.hpp"
+
+namespace bas::exp {
+
+/// One slice of a cross-process partition: shard `index` of `count`.
+struct Shard {
+  int index = 0;
+  int count = 1;
+
+  bool contains(std::size_t job_index) const noexcept {
+    return job_index % static_cast<std::size_t>(count) ==
+           static_cast<std::size_t>(index);
+  }
+};
+
+/// Parses "i/n" with 0 <= i < n; throws std::runtime_error otherwise.
+Shard parse_shard(const std::string& text);
+
+/// Canonical 64-bit fingerprint of a spec: FNV-1a over a
+/// length-prefixed serialization of title, config, seed, replicates,
+/// axes (names and labels) and metric names. Identical specs
+/// fingerprint identically on every platform; any change to the
+/// sweep's identity changes the fingerprint.
+std::uint64_t spec_fingerprint(const ExperimentSpec& spec);
+
+/// Fixed-width lowercase hex rendering of a fingerprint.
+std::string fingerprint_hex(std::uint64_t fingerprint);
+
+/// The materialized manifest of one spec: jobs in index order plus the
+/// spec fingerprint. Construction validates the spec (run function
+/// present, metrics non-empty, replicates >= 1) and throws
+/// std::invalid_argument on violations.
+class Plan {
+ public:
+  explicit Plan(const ExperimentSpec& spec);
+
+  const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  const Job& job(std::size_t index) const { return jobs_.at(index); }
+  std::size_t job_count() const noexcept { return jobs_.size(); }
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+  /// "job 7 [scheme=BAS-2, battery=kibam] replicate 1" — for error
+  /// messages and progress notes of multi-thousand-job campaigns.
+  std::string describe(const Job& job) const;
+
+ private:
+  Grid grid_;
+  std::vector<Job> jobs_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace bas::exp

@@ -2,65 +2,99 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
-#include "util/rng.hpp"
+#include "exp/cache.hpp"
+#include "exp/progress.hpp"
+#include "util/cli.hpp"
 
 namespace bas::exp {
 
-namespace {
-
-// Domain-separation tags so cell seeds, replicate seeds and job seeds
-// can never collide even for coinciding coordinate values.
-constexpr std::uint64_t kCellDomain = 0x9d8f0c3b5a1e77c1ULL;
-constexpr std::uint64_t kReplicateDomain = 0x6a09e667f3bcc909ULL;
-
-Job make_job(const ExperimentSpec& spec, std::size_t index) {
-  const auto replicates = static_cast<std::size_t>(spec.replicates);
-  Job job;
-  job.index = index;
-  job.cell = index / replicates;
-  job.replicate = static_cast<int>(index % replicates);
-  job.coord = spec.grid.coord(job.cell);
-
-  std::vector<std::uint64_t> tags;
-  tags.reserve(job.coord.size() + 1);
-  tags.push_back(kCellDomain);
-  for (const auto c : job.coord) {
-    tags.push_back(static_cast<std::uint64_t>(c));
-  }
-  job.cell_seed = util::derive_seed(spec.seed, tags.data(), tags.size());
-  job.replicate_seed = util::derive_seed(
-      spec.seed,
-      {kReplicateDomain, static_cast<std::uint64_t>(job.replicate)});
-  job.seed = util::Rng::hash_combine(
-      job.cell_seed, static_cast<std::uint64_t>(job.replicate));
-  return job;
-}
-
-}  // namespace
-
-Runner::Runner(RunnerOptions options) : options_(options) {}
+Runner::Runner(RunnerOptions options) : options_(std::move(options)) {}
 
 ExperimentResult Runner::run(const ExperimentSpec& spec) const {
-  if (!spec.run) {
+  // ---- plan: manifest, fingerprint, option validation ----------------
+  const Plan plan(spec);
+  const std::size_t n_jobs = plan.job_count();
+
+  if (options_.merge_only && options_.cache_dir.empty()) {
     throw std::invalid_argument("experiment '" + spec.title +
-                                "' has no run function");
+                                "': merge mode requires a cache directory");
   }
-  if (spec.metrics.empty()) {
+  if (options_.merge_only && options_.shard) {
     throw std::invalid_argument("experiment '" + spec.title +
-                                "' declares no metrics");
+                                "': merge mode is incompatible with a shard");
   }
-  if (spec.replicates < 1) {
-    throw std::invalid_argument("experiment '" + spec.title +
-                                "' needs replicates >= 1");
+  if (options_.shard &&
+      (options_.shard->count < 1 || options_.shard->index < 0 ||
+       options_.shard->index >= options_.shard->count)) {
+    throw std::invalid_argument(
+        "experiment '" + spec.title + "': shard " +
+        std::to_string(options_.shard->index) + "/" +
+        std::to_string(options_.shard->count) + " needs 0 <= i < n");
   }
 
-  const std::size_t n_jobs = spec.job_count();
+  std::optional<ResultCache> cache;
+  std::map<std::size_t, std::vector<double>> cached;
+  if (!options_.cache_dir.empty()) {
+    std::string tag;
+    if (options_.shard) {
+      tag += 's';
+      tag += std::to_string(options_.shard->index);
+      tag += "of";
+      tag += std::to_string(options_.shard->count);
+    }
+    cache.emplace(options_.cache_dir, plan.fingerprint(), tag);
+    cached = cache->load(spec.metrics.size());
+  }
+
+  std::vector<std::size_t> pending;
+  if (options_.merge_only) {
+    // Check every index, not the record count: stray out-of-range
+    // records (a hand-edited or corrupted file) must not mask a
+    // genuinely missing job.
+    std::size_t present = 0;
+    std::size_t first_missing = n_jobs;
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+      if (cached.count(i)) {
+        ++present;
+      } else if (first_missing == n_jobs) {
+        first_missing = i;
+      }
+    }
+    if (present < n_jobs) {
+      throw std::runtime_error(
+          "experiment '" + spec.title + "': merge found only " +
+          std::to_string(present) + " of " + std::to_string(n_jobs) +
+          " jobs in cache '" + options_.cache_dir + "' (first missing: " +
+          plan.describe(plan.job(first_missing)) + ")");
+    }
+  } else {
+    pending.reserve(n_jobs);
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+      if (options_.shard && !options_.shard->contains(i)) {
+        continue;
+      }
+      if (cached.count(i)) {
+        continue;
+      }
+      pending.push_back(i);
+    }
+  }
+
+  // ---- execute: pool over pending jobs, cache + progress as we go ----
   std::vector<std::vector<double>> results(n_jobs);
+  Progress progress(spec.title, pending.size(), options_.progress);
+  if (!cached.empty()) {
+    progress.note(std::to_string(cached.size()) + "/" +
+                  std::to_string(n_jobs) + " jobs cached, executing " +
+                  std::to_string(pending.size()));
+  }
 
   std::mutex error_mutex;
   std::string first_error;
@@ -69,29 +103,33 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
 
   auto work = [&]() {
     while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n_jobs) {
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= pending.size()) {
         return;
       }
+      const Job& job = plan.job(pending[k]);
       try {
-        const Job job = make_job(spec, i);
         auto metrics = spec.run(job);
         if (metrics.size() != spec.metrics.size()) {
           throw std::runtime_error(
-              "job returned " + std::to_string(metrics.size()) +
+              "returned " + std::to_string(metrics.size()) +
               " metrics, expected " + std::to_string(spec.metrics.size()));
         }
-        results[i] = std::move(metrics);
+        if (cache) {
+          cache->append(job.index, metrics);
+        }
+        results[job.index] = std::move(metrics);
+        progress.tick();
       } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!failed.exchange(true)) {
-          first_error = e.what();
+          first_error = plan.describe(job) + ": " + e.what();
         }
         return;
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!failed.exchange(true)) {
-          first_error = "job threw a non-standard exception";
+          first_error = plan.describe(job) + ": non-standard exception";
         }
         return;
       }
@@ -104,7 +142,7 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
   }
   threads = std::max(1, threads);
   const auto pool_size =
-      std::min<std::size_t>(static_cast<std::size_t>(threads), n_jobs);
+      std::min<std::size_t>(static_cast<std::size_t>(threads), pending.size());
 
   if (pool_size <= 1) {
     work();
@@ -121,26 +159,57 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
 
   if (failed.load()) {
     throw std::runtime_error("experiment '" + spec.title +
-                             "' failed: " + first_error);
+                             "' failed at " + first_error);
   }
 
-  // Sequential fold in job order: replicates of a cell are contiguous,
-  // so each Accumulator sees its samples in replicate order no matter
-  // how the pool interleaved execution.
+  // ---- collect: job-order fold over cached + fresh metrics -----------
+  // Replicates of a cell are contiguous, so each Accumulator sees its
+  // samples in replicate order no matter how the pool (or an earlier
+  // cached/sharded run) interleaved execution. Jobs outside this shard
+  // and absent from the cache are simply skipped, yielding the shard's
+  // partial result.
   ExperimentResult result(spec.title, spec.grid, spec.metrics,
                           spec.replicates);
   for (std::size_t i = 0; i < n_jobs; ++i) {
+    const std::vector<double>* metrics = nullptr;
+    if (!results[i].empty()) {
+      metrics = &results[i];
+    } else if (const auto it = cached.find(i); it != cached.end()) {
+      metrics = &it->second;
+    } else {
+      continue;
+    }
     const std::size_t cell = i / static_cast<std::size_t>(spec.replicates);
     auto& stats = result.cell(cell);
     for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
-      stats.metrics[m].add(results[i][m]);
+      stats.metrics[m].add((*metrics)[m]);
     }
   }
   return result;
 }
 
 ExperimentResult run_experiment(const ExperimentSpec& spec, int jobs) {
-  return Runner(RunnerOptions{jobs}).run(spec);
+  RunnerOptions options;
+  options.jobs = jobs;
+  return Runner(options).run(spec);
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const RunnerOptions& options) {
+  return Runner(options).run(spec);
+}
+
+RunnerOptions options_from_cli(const util::Cli& cli) {
+  RunnerOptions options;
+  options.jobs = cli.jobs();
+  if (const auto shard = cli.get("shard"); !shard.empty()) {
+    options.shard = parse_shard(shard);
+  }
+  options.cache_dir = cli.get("cache");
+  options.merge_only = cli.get_flag("merge");
+  options.progress = cli.get_flag("progress");
+  // Runner::run owns the merge/cache/shard consistency rules.
+  return options;
 }
 
 }  // namespace bas::exp

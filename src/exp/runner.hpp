@@ -1,37 +1,74 @@
 #pragma once
-// Parallel experiment runner.
+// The campaign runner: plan -> execute -> collect.
 //
-// Expands an ExperimentSpec's grid into (cell, replicate) jobs, executes
-// them on a worker pool, and aggregates metrics into per-cell
-// Accumulators. Two properties are guaranteed:
+//  plan     A Plan (plan.hpp) materializes the job manifest — indices,
+//           coordinates, seeds — and the spec fingerprint that keys the
+//           resume cache.
+//  execute  The worker pool runs only the jobs selected by the optional
+//           shard partition and not already present in the resume cache
+//           (cache.hpp); fresh results are appended to the cache as they
+//           finish, and a Progress reporter (progress.hpp) heartbeats to
+//           stderr.
+//  collect  The job-order fold merges cached and freshly computed
+//           metrics into an ExperimentResult. Because %.17g round-trips
+//           doubles exactly, a result folded from any mix of cache hits,
+//           shard partials and live jobs is byte-identical to a fresh
+//           single-process run.
 //
-//  1. Determinism for any thread count. Job seeds are pure functions of
-//     grid coordinates (job.hpp), each job stores its metrics into a
-//     slot indexed by job id, and the fold into Accumulators happens
-//     after the pool drains, in job order. jobs=1 and jobs=64 produce
-//     bit-identical aggregates.
+// Two properties are guaranteed:
+//
+//  1. Determinism for any thread count, shard split or resume history.
+//     Job seeds are pure functions of grid coordinates (job.hpp), each
+//     job's metrics land in a slot indexed by job id, and the fold
+//     happens after the pool drains, in job order.
 //  2. Isolation. The spec's run function receives only the Job; it is
 //     expected to build its own Scheme / Battery / TaskGraphSet, so no
 //     mutable state is shared between workers.
+//
+// Cluster fan-out: run shard i with `{.shard = Shard{i, n},
+// .cache_dir = DIR}` on n machines sharing DIR (or copy the shard files
+// together afterwards), then fold everything with `{.merge_only = true,
+// .cache_dir = DIR}`.
+
+#include <optional>
+#include <string>
 
 #include "exp/experiment.hpp"
+#include "exp/plan.hpp"
+
+namespace bas::util {
+class Cli;
+}
 
 namespace bas::exp {
 
 struct RunnerOptions {
   /// Worker threads; <= 0 selects std::thread::hardware_concurrency().
   int jobs = 1;
+  /// When set, execute only the jobs of this slice of the round-robin
+  /// partition; the collected result covers just those jobs unless a
+  /// cache supplies the rest.
+  std::optional<Shard> shard;
+  /// When non-empty, load previously cached jobs from this directory
+  /// instead of recomputing them, and append fresh results to it.
+  std::string cache_dir;
+  /// Execute nothing: fold the complete result from the cache alone.
+  /// Requires cache_dir; throws when any job is missing.
+  bool merge_only = false;
+  /// Report jobs-done/total and ETA to stderr while executing.
+  bool progress = false;
 };
 
 class Runner {
  public:
   explicit Runner(RunnerOptions options = {});
 
-  /// Runs every job of the spec. Throws std::invalid_argument on a
-  /// malformed spec (no run function, no metrics, replicates < 1) and
-  /// std::runtime_error when a job throws or returns the wrong number of
-  /// metrics (the first failure is reported; remaining jobs are
-  /// abandoned).
+  /// Runs the spec's campaign. Throws std::invalid_argument on a
+  /// malformed spec (no run function, no metrics, replicates < 1) or an
+  /// inconsistent option set (merge without a cache, merge with a
+  /// shard), and std::runtime_error when a job throws or returns the
+  /// wrong number of metrics — the message names the failing job's grid
+  /// coordinates and replicate; remaining jobs are abandoned.
   ExperimentResult run(const ExperimentSpec& spec) const;
 
  private:
@@ -40,5 +77,15 @@ class Runner {
 
 /// One-shot convenience: Runner{{.jobs = jobs}}.run(spec).
 ExperimentResult run_experiment(const ExperimentSpec& spec, int jobs = 1);
+
+/// One-shot convenience with the full campaign option set.
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const RunnerOptions& options);
+
+/// Builds RunnerOptions from the shared bench flags (--jobs, --shard,
+/// --cache, --merge, --progress; see util::Cli::with_bench_defaults).
+/// Throws std::runtime_error on a malformed --shard; cross-option
+/// consistency (--merge needs --cache, ...) is enforced by Runner::run.
+RunnerOptions options_from_cli(const util::Cli& cli);
 
 }  // namespace bas::exp

@@ -9,12 +9,6 @@ namespace bas::exp {
 
 namespace {
 
-std::string fmt(double value) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
-
 std::string csv_escape(const std::string& text) {
   if (text.find_first_of(",\"\n") == std::string::npos) {
     return text;
@@ -57,6 +51,12 @@ std::vector<double> stat_values(const util::Accumulator& acc) {
 
 }  // namespace
 
+std::string format_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
 std::string to_csv(const ExperimentResult& result) {
   std::ostringstream out;
   bool first = true;
@@ -79,7 +79,7 @@ std::string to_csv(const ExperimentResult& result) {
     }
     for (std::size_t m = 0; m < result.metric_names().size(); ++m) {
       for (const double v : stat_values(result.at(c, m))) {
-        out << (first ? "" : ",") << fmt(v);
+        out << (first ? "" : ",") << format_double(v);
         first = false;
       }
     }
@@ -120,7 +120,8 @@ std::string to_json(const ExperimentResult& result) {
           << "\": {";
       const auto values = stat_values(result.at(c, m));
       for (std::size_t s = 0; s < values.size(); ++s) {
-        out << (s ? ", " : "") << '"' << kStats[s] << "\": " << fmt(values[s]);
+        out << (s ? ", " : "") << '"' << kStats[s]
+            << "\": " << format_double(values[s]);
       }
       out << '}';
     }

@@ -62,6 +62,10 @@ std::map<std::string, std::string> Cli::with_bench_defaults(
     std::map<std::string, std::string> defaults) {
   defaults.emplace("jobs", "auto");
   defaults.emplace("csv", "");
+  defaults.emplace("shard", "");
+  defaults.emplace("cache", "");
+  defaults.emplace("merge", "false");
+  defaults.emplace("progress", "false");
   return defaults;
 }
 
@@ -120,6 +124,26 @@ std::string Cli::summary() const {
   std::ostringstream out;
   bool first = true;
   for (const auto& [key, value] : values_) {
+    if (!first) {
+      out << ' ';
+    }
+    first = false;
+    out << "--" << key << ' ' << value;
+  }
+  return out.str();
+}
+
+std::string Cli::config_summary() const {
+  static const char* const kEngineFlags[] = {"jobs",  "csv",   "shard",
+                                             "cache", "merge", "progress"};
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (std::find_if(std::begin(kEngineFlags), std::end(kEngineFlags),
+                     [&key](const char* flag) { return key == flag; }) !=
+        std::end(kEngineFlags)) {
+      continue;
+    }
     if (!first) {
       out << ' ';
     }

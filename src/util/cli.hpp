@@ -24,10 +24,17 @@ class Cli {
 
   /// Merges the options every sweep-style bench shares into `defaults`
   /// (without overriding caller-provided entries):
-  ///   --jobs N    worker threads for the experiment engine
-  ///               ("auto" = hardware concurrency; results are
-  ///               bit-identical for any value)
-  ///   --csv PATH  write aggregated cells as CSV (.json for JSON)
+  ///   --jobs N     worker threads for the experiment engine
+  ///                ("auto" = hardware concurrency; results are
+  ///                bit-identical for any value)
+  ///   --csv PATH   write aggregated cells as CSV (.json for JSON)
+  ///   --shard i/n  execute only slice i of an n-way deterministic job
+  ///                partition (cluster fan-out; pair with --cache)
+  ///   --cache DIR  resume cache: skip jobs already recorded under DIR,
+  ///                append fresh results as they finish
+  ///   --merge      fold the complete result from the cache alone
+  ///                (combines shard outputs; requires --cache)
+  ///   --progress   report jobs-done/total and ETA to stderr
   static std::map<std::string, std::string> with_bench_defaults(
       std::map<std::string, std::string> defaults);
 
@@ -49,6 +56,14 @@ class Cli {
   /// Renders "--key value" pairs of the effective configuration, for
   /// reproducibility banners at the top of each bench's output.
   std::string summary() const;
+
+  /// summary() minus the engine/campaign flags (--jobs, --csv, --shard,
+  /// --cache, --merge, --progress) — exactly the options that can alter
+  /// job outputs. Feed it to ExperimentSpec::config so the resume cache
+  /// is invalidated when any driver parameter changes, while sharded,
+  /// resumed and differently-threaded runs of one sweep still share a
+  /// fingerprint.
+  std::string config_summary() const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -1,0 +1,490 @@
+// Tests for the campaign layer: plan/fingerprint, shard partition,
+// resume cache (%.17g round trip, stale invalidation), merge collection
+// and the coordinate-bearing runner error reports.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/cache.hpp"
+#include "exp/plan.hpp"
+#include "exp/runner.hpp"
+#include "exp/sink.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace bas {
+namespace {
+
+/// Fresh temp directory per test, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() /
+              ("bas-campaign-" + name + "-" +
+               std::to_string(::getpid())))
+                 .string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+/// A cheap spec whose metrics are awkward doubles (hash-derived, full
+/// mantissas) — exactly what must survive the cache's text round trip.
+exp::ExperimentSpec awkward_spec() {
+  exp::ExperimentSpec spec;
+  spec.title = "awkward";
+  spec.grid.add("a", {"a0", "a1", "a2"}).add("b", {"b0", "b1"});
+  spec.metrics = {"x", "y"};
+  spec.replicates = 3;
+  spec.seed = 77;
+  spec.run = [](const exp::Job& job) -> std::vector<double> {
+    const double u =
+        static_cast<double>(util::Rng::mix(job.seed)) / 1.8446744e19;
+    return {std::sin(u) / 3.0, std::exp(-u) * 1e-7};
+  };
+  return spec;
+}
+
+void expect_bitwise_equal(const exp::ExperimentResult& a,
+                          const exp::ExperimentResult& b) {
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  ASSERT_EQ(a.metric_names().size(), b.metric_names().size());
+  EXPECT_EQ(exp::to_csv(a), exp::to_csv(b));
+  EXPECT_EQ(exp::to_json(a), exp::to_json(b));
+}
+
+// ---------------------------------------------------------------- shard
+
+TEST(Shard, ParseAcceptsValidSlices) {
+  const auto shard = exp::parse_shard("2/5");
+  EXPECT_EQ(shard.index, 2);
+  EXPECT_EQ(shard.count, 5);
+  EXPECT_EQ(exp::parse_shard("0/1").count, 1);
+}
+
+TEST(Shard, ParseRejectsMalformedSlices) {
+  for (const char* bad :
+       {"", "3", "1/", "/2", "2/2", "3/2", "-1/2", "1/0", "a/b", "1/2x"}) {
+    EXPECT_THROW(exp::parse_shard(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Shard, PartitionIsDisjointAndComplete) {
+  const int n = 3;
+  std::vector<int> owners(100, -1);
+  for (int s = 0; s < n; ++s) {
+    const exp::Shard shard{s, n};
+    for (std::size_t j = 0; j < owners.size(); ++j) {
+      if (shard.contains(j)) {
+        EXPECT_EQ(owners[j], -1) << "job " << j << " claimed twice";
+        owners[j] = s;
+      }
+    }
+  }
+  for (std::size_t j = 0; j < owners.size(); ++j) {
+    EXPECT_NE(owners[j], -1) << "job " << j << " unowned";
+  }
+}
+
+// ----------------------------------------------------------------- plan
+
+TEST(Plan, FingerprintIsStableAndSensitive) {
+  const auto spec = awkward_spec();
+  EXPECT_EQ(exp::spec_fingerprint(spec), exp::spec_fingerprint(spec));
+
+  auto changed = awkward_spec();
+  changed.seed = 78;
+  EXPECT_NE(exp::spec_fingerprint(spec), exp::spec_fingerprint(changed));
+
+  changed = awkward_spec();
+  changed.title = "other";
+  EXPECT_NE(exp::spec_fingerprint(spec), exp::spec_fingerprint(changed));
+
+  changed = awkward_spec();
+  changed.replicates = 4;
+  EXPECT_NE(exp::spec_fingerprint(spec), exp::spec_fingerprint(changed));
+
+  changed = awkward_spec();
+  changed.metrics[1] = "z";
+  EXPECT_NE(exp::spec_fingerprint(spec), exp::spec_fingerprint(changed));
+
+  changed = awkward_spec();
+  changed.grid = exp::Grid{};
+  changed.grid.add("a", {"a0", "a1", "a2"}).add("b", {"b0", "B1"});
+  EXPECT_NE(exp::spec_fingerprint(spec), exp::spec_fingerprint(changed));
+}
+
+TEST(Plan, FieldBoundariesChangeTheFingerprint) {
+  // Length-prefixed serialization: moving a character between adjacent
+  // fields must not collide.
+  auto a = awkward_spec();
+  a.grid = exp::Grid{};
+  a.grid.add("ab", {"c"});
+  auto b = awkward_spec();
+  b.grid = exp::Grid{};
+  b.grid.add("a", {"bc"});
+  EXPECT_NE(exp::spec_fingerprint(a), exp::spec_fingerprint(b));
+}
+
+TEST(Plan, MaterializesTheFullManifest) {
+  const auto spec = awkward_spec();
+  const exp::Plan plan(spec);
+  ASSERT_EQ(plan.job_count(), spec.job_count());
+  for (std::size_t i = 0; i < plan.job_count(); ++i) {
+    const auto& job = plan.job(i);
+    EXPECT_EQ(job.index, i);
+    EXPECT_EQ(job.cell, i / 3);
+    EXPECT_EQ(job.replicate, static_cast<int>(i % 3));
+    EXPECT_EQ(job.coord, spec.grid.coord(job.cell));
+  }
+  EXPECT_EQ(plan.fingerprint(), exp::spec_fingerprint(spec));
+}
+
+TEST(Plan, DescribeNamesCoordinatesAndReplicate) {
+  const auto spec = awkward_spec();
+  const exp::Plan plan(spec);
+  EXPECT_EQ(plan.describe(plan.job(10)), "job 10 [a=a1, b=b1] replicate 1");
+}
+
+TEST(Plan, RejectsMalformedSpecs) {
+  auto spec = awkward_spec();
+  spec.run = nullptr;
+  EXPECT_THROW(exp::Plan{spec}, std::invalid_argument);
+  spec = awkward_spec();
+  spec.metrics.clear();
+  EXPECT_THROW(exp::Plan{spec}, std::invalid_argument);
+  spec = awkward_spec();
+  spec.replicates = 0;
+  EXPECT_THROW(exp::Plan{spec}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(Cache, RoundTripsDoublesBitwise) {
+  TempDir dir("roundtrip");
+  const std::vector<double> metrics{1.0 / 3.0,  -0.0, 5e-324,
+                                    1.7976931348623157e308, 0.1,
+                                    123456789.123456789};
+  {
+    exp::ResultCache cache(dir.path, 0xabcdefULL, "");
+    cache.append(7, metrics);
+  }
+  exp::ResultCache cache(dir.path, 0xabcdefULL, "");
+  const auto loaded = cache.load(metrics.size());
+  ASSERT_EQ(loaded.size(), 1u);
+  ASSERT_TRUE(loaded.count(7));
+  ASSERT_EQ(loaded.at(7).size(), metrics.size());
+  EXPECT_EQ(0, std::memcmp(loaded.at(7).data(), metrics.data(),
+                           metrics.size() * sizeof(double)));
+}
+
+TEST(Cache, IgnoresOtherFingerprintsTornLinesAndWrongArity) {
+  TempDir dir("filter");
+  exp::ResultCache mine(dir.path, 0x1111ULL, "");
+  mine.append(0, {1.0, 2.0});
+  exp::ResultCache other(dir.path, 0x2222ULL, "");
+  other.append(1, {3.0, 4.0});
+  mine.append(2, {5.0});  // wrong arity for a 2-metric load
+  {
+    std::ofstream torn(dir.path + "/torn.jsonl", std::ios::app);
+    torn << "{\"fp\":\"" << exp::fingerprint_hex(0x1111ULL)
+         << "\",\"job\":9,\"metrics\":[1.0";  // no closing brace/newline
+  }
+  const auto loaded = mine.load(2);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded.count(0));
+}
+
+TEST(Cache, AppendHealsATornTailBeforeWriting) {
+  TempDir dir("torn-tail");
+  const std::string fp = exp::fingerprint_hex(0x4444ULL);
+  exp::ResultCache probe(dir.path, 0x4444ULL, "");
+  {
+    // A killed writer's file: a complete record, then a torn line with
+    // no trailing newline.
+    std::ofstream file(probe.write_path());
+    file << "{\"fp\":\"" << fp << "\",\"job\":0,\"metrics\":[1]}\n";
+    file << "{\"fp\":\"" << fp << "\",\"job\":5,\"metrics\":";
+  }
+  exp::ResultCache cache(dir.path, 0x4444ULL, "");
+  cache.append(9, {7.0});
+  const auto loaded = cache.load(1);
+  // The torn job-5 line must stay torn (skipped), never absorb job 9's
+  // metrics; jobs 0 and 9 survive.
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded.count(0));
+  ASSERT_TRUE(loaded.count(9));
+  EXPECT_EQ(loaded.at(9), std::vector<double>{7.0});
+  EXPECT_FALSE(loaded.count(5));
+}
+
+TEST(Cache, SeparateWriterTagsSeparateFiles) {
+  TempDir dir("tags");
+  exp::ResultCache s0(dir.path, 0x3333ULL, "s0of2");
+  exp::ResultCache s1(dir.path, 0x3333ULL, "s1of2");
+  EXPECT_NE(s0.write_path(), s1.write_path());
+  s0.append(0, {1.0});
+  s1.append(1, {2.0});
+  EXPECT_EQ(s0.load(1).size(), 2u);  // load pools every file in the dir
+}
+
+// --------------------------------------------- sharded + resumed runs
+
+TEST(Campaign, ShardsMergeBitIdenticalToUnsharded) {
+  TempDir dir("merge");
+  const auto spec = awkward_spec();
+  const auto fresh = exp::run_experiment(spec, 4);
+
+  for (int s = 0; s < 2; ++s) {
+    exp::RunnerOptions options;
+    options.jobs = 2;
+    options.shard = exp::Shard{s, 2};
+    options.cache_dir = dir.path;
+    exp::run_experiment(spec, options);
+  }
+  exp::RunnerOptions merge;
+  merge.merge_only = true;
+  merge.cache_dir = dir.path;
+  const auto merged = exp::run_experiment(spec, merge);
+  expect_bitwise_equal(fresh, merged);
+}
+
+TEST(Campaign, CacheResumeMatchesFreshRunAndSkipsCachedJobs) {
+  TempDir dir("resume");
+  auto spec = awkward_spec();
+  const auto fresh = exp::run_experiment(spec, 4);
+
+  // Interrupted stand-in: only shard 0/2 reached the cache.
+  exp::RunnerOptions first;
+  first.jobs = 2;
+  first.shard = exp::Shard{0, 2};
+  first.cache_dir = dir.path;
+  exp::run_experiment(spec, first);
+
+  std::atomic<std::size_t> executed{0};
+  const auto inner = spec.run;
+  spec.run = [&executed, inner](const exp::Job& job) {
+    executed.fetch_add(1);
+    return inner(job);
+  };
+  exp::RunnerOptions resume;
+  resume.jobs = 4;
+  resume.cache_dir = dir.path;
+  const auto resumed = exp::run_experiment(spec, resume);
+  expect_bitwise_equal(fresh, resumed);
+  EXPECT_EQ(executed.load(), spec.job_count() / 2);
+
+  // A second resume finds everything cached and executes nothing.
+  executed = 0;
+  const auto again = exp::run_experiment(spec, resume);
+  expect_bitwise_equal(fresh, again);
+  EXPECT_EQ(executed.load(), 0u);
+}
+
+TEST(Campaign, StaleFingerprintInvalidatesTheCache) {
+  TempDir dir("stale");
+  auto spec = awkward_spec();
+  exp::RunnerOptions options;
+  options.jobs = 2;
+  options.cache_dir = dir.path;
+  exp::run_experiment(spec, options);
+
+  spec.seed = 1234;  // a different sweep identity
+  const auto fresh = exp::run_experiment(spec, 4);
+  std::atomic<std::size_t> executed{0};
+  const auto inner = spec.run;
+  spec.run = [&executed, inner](const exp::Job& job) {
+    executed.fetch_add(1);
+    return inner(job);
+  };
+  const auto rerun = exp::run_experiment(spec, options);
+  EXPECT_EQ(executed.load(), spec.job_count());  // nothing served stale
+  expect_bitwise_equal(fresh, rerun);
+}
+
+TEST(Campaign, MergeReportsMissingJobs) {
+  TempDir dir("missing");
+  const auto spec = awkward_spec();
+  exp::RunnerOptions shard0;
+  shard0.shard = exp::Shard{0, 2};
+  shard0.cache_dir = dir.path;
+  exp::run_experiment(spec, shard0);
+
+  exp::RunnerOptions merge;
+  merge.merge_only = true;
+  merge.cache_dir = dir.path;
+  try {
+    exp::run_experiment(spec, merge);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("merge"), std::string::npos);
+    EXPECT_NE(message.find("job 1"), std::string::npos);
+  }
+}
+
+TEST(Campaign, MergeIsNotFooledByOutOfRangeRecords) {
+  TempDir dir("padding");
+  const auto spec = awkward_spec();
+  exp::RunnerOptions shard0;
+  shard0.shard = exp::Shard{0, 2};
+  shard0.cache_dir = dir.path;
+  exp::run_experiment(spec, shard0);
+
+  // Pad the cache with matching-fingerprint records whose job indices
+  // are out of range, so the record count reaches job_count() while
+  // every odd job is still missing.
+  exp::ResultCache padding(dir.path, exp::spec_fingerprint(spec), "bogus");
+  for (std::size_t i = 0; i < spec.job_count(); ++i) {
+    padding.append(spec.job_count() + i, {1.0, 2.0});
+  }
+
+  exp::RunnerOptions merge;
+  merge.merge_only = true;
+  merge.cache_dir = dir.path;
+  EXPECT_THROW(exp::run_experiment(spec, merge), std::runtime_error);
+}
+
+TEST(Campaign, MergeWithoutCacheOrWithShardIsRejected) {
+  const auto spec = awkward_spec();
+  exp::RunnerOptions merge;
+  merge.merge_only = true;
+  EXPECT_THROW(exp::run_experiment(spec, merge), std::invalid_argument);
+  merge.cache_dir = "somewhere";
+  merge.shard = exp::Shard{0, 2};
+  EXPECT_THROW(exp::run_experiment(spec, merge), std::invalid_argument);
+}
+
+TEST(Campaign, ShardRunAloneYieldsPartialCells) {
+  const auto spec = awkward_spec();
+  exp::RunnerOptions options;
+  options.shard = exp::Shard{0, 2};
+  const auto partial = exp::run_experiment(spec, options);
+  std::size_t samples = 0;
+  for (std::size_t c = 0; c < partial.cell_count(); ++c) {
+    samples += partial.at(c, 0).count();
+  }
+  EXPECT_EQ(samples, (spec.job_count() + 1) / 2);
+}
+
+// ----------------------------------------------------- error reporting
+
+TEST(Campaign, ErrorsCarryGridCoordinatesAndReplicate) {
+  auto spec = awkward_spec();
+  spec.run = [](const exp::Job& job) -> std::vector<double> {
+    if (job.index == 10) {
+      throw std::runtime_error("boom");
+    }
+    return {0.0, 0.0};
+  };
+  try {
+    exp::run_experiment(spec, 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("job 10 [a=a1, b=b1] replicate 1"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("boom"), std::string::npos);
+  }
+}
+
+TEST(Campaign, ArityErrorsCarryCoordinatesToo) {
+  auto spec = awkward_spec();
+  spec.run = [](const exp::Job& job) -> std::vector<double> {
+    if (job.index == 4) {
+      return {1.0};  // expected 2
+    }
+    return {0.0, 0.0};
+  };
+  try {
+    exp::run_experiment(spec, 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("job 4"), std::string::npos) << message;
+    EXPECT_NE(message.find("expected 2"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------ CLI threading
+
+TEST(Campaign, OptionsFromCliParseTheCampaignFlags) {
+  const char* argv[] = {"bench",        "--jobs", "3",    "--shard", "1/4",
+                        "--cache",      "/tmp/c", "--progress"};
+  util::Cli cli(8, argv, util::Cli::with_bench_defaults({}));
+  const auto options = exp::options_from_cli(cli);
+  EXPECT_EQ(options.jobs, 3);
+  ASSERT_TRUE(options.shard.has_value());
+  EXPECT_EQ(options.shard->index, 1);
+  EXPECT_EQ(options.shard->count, 4);
+  EXPECT_EQ(options.cache_dir, "/tmp/c");
+  EXPECT_FALSE(options.merge_only);
+  EXPECT_TRUE(options.progress);
+}
+
+TEST(Campaign, OptionsFromCliDefaultsAreInert) {
+  const char* argv[] = {"bench"};
+  util::Cli cli(1, argv, util::Cli::with_bench_defaults({}));
+  const auto options = exp::options_from_cli(cli);
+  EXPECT_FALSE(options.shard.has_value());
+  EXPECT_TRUE(options.cache_dir.empty());
+  EXPECT_FALSE(options.merge_only);
+  EXPECT_FALSE(options.progress);
+}
+
+TEST(Campaign, MergeWithoutCacheFromCliIsRejectedByTheRunner) {
+  const char* argv[] = {"bench", "--merge"};
+  util::Cli cli(2, argv, util::Cli::with_bench_defaults({}));
+  EXPECT_THROW(exp::run_experiment(awkward_spec(), exp::options_from_cli(cli)),
+               std::invalid_argument);
+}
+
+TEST(Campaign, OutOfRangeShardIsRejected) {
+  exp::RunnerOptions options;
+  options.shard = exp::Shard{2, 2};
+  EXPECT_THROW(exp::run_experiment(awkward_spec(), options),
+               std::invalid_argument);
+  options.shard = exp::Shard{-1, 2};
+  EXPECT_THROW(exp::run_experiment(awkward_spec(), options),
+               std::invalid_argument);
+}
+
+TEST(Campaign, ConfigEntersTheFingerprint) {
+  auto spec = awkward_spec();
+  spec.config = "--battery kibam";
+  auto changed = awkward_spec();
+  changed.config = "--battery peukert";
+  EXPECT_NE(exp::spec_fingerprint(spec), exp::spec_fingerprint(changed));
+}
+
+TEST(Campaign, ConfigSummaryExcludesEngineFlags) {
+  const char* argv_a[] = {"bench", "--battery", "kibam", "--jobs", "7",
+                          "--shard", "0/2", "--cache", "dir", "--progress"};
+  util::Cli a(10, argv_a,
+              util::Cli::with_bench_defaults({{"battery", "kibam"}}));
+  const char* argv_b[] = {"bench", "--battery", "kibam"};
+  util::Cli b(3, argv_b,
+              util::Cli::with_bench_defaults({{"battery", "kibam"}}));
+  // Campaign/engine flags must not perturb the sweep identity...
+  EXPECT_EQ(a.config_summary(), b.config_summary());
+  // ...but driver parameters must.
+  const char* argv_c[] = {"bench", "--battery", "peukert"};
+  util::Cli c(3, argv_c,
+              util::Cli::with_bench_defaults({{"battery", "kibam"}}));
+  EXPECT_NE(b.config_summary(), c.config_summary());
+  EXPECT_NE(b.config_summary().find("--battery kibam"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bas

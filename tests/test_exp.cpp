@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -263,6 +264,41 @@ TEST(Sink, CsvQuotesAwkwardLabelsAndMetricNames) {
   // The _stat suffix must land inside the quotes, not after them.
   EXPECT_NE(csv.find("\"lifetime,min_mean\""), std::string::npos);
   EXPECT_NE(csv.find("\n\"with,comma\","), std::string::npos);
+}
+
+TEST(Sink, CsvDoublesEmbeddedQuotesAndQuotesNewlines) {
+  exp::ExperimentSpec spec;
+  spec.title = "csv-quotes";
+  spec.grid.add("axis", {"say \"hi\"", "two\nlines"});
+  spec.metrics = {"m"};
+  spec.run = [](const exp::Job&) { return std::vector<double>{1.0}; };
+  const auto csv = exp::to_csv(exp::run_experiment(spec, 1));
+  // RFC 4180: the field is quoted and the inner quotes are doubled.
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\","), std::string::npos);
+  EXPECT_NE(csv.find("\"two\nlines\","), std::string::npos);
+}
+
+TEST(Sink, DoublesRoundTripThroughSeventeenSigDigits) {
+  // %.17g is the shortest fixed precision that round-trips every finite
+  // double; both sinks and the resume cache rely on it. Parse the CSV
+  // cell back and compare bitwise.
+  const double awkward[] = {1.0 / 3.0, 0.1, 5e-324, 1.7976931348623157e308,
+                            123456789.12345679};
+  for (const double value : awkward) {
+    exp::ExperimentSpec spec;
+    spec.title = "roundtrip";
+    spec.grid.add("axis", {"v"});
+    spec.metrics = {"m"};
+    spec.run = [value](const exp::Job&) { return std::vector<double>{value}; };
+    const auto csv = exp::to_csv(exp::run_experiment(spec, 1));
+    // Row: v,count,mean,stddev,min,max,sum — mean is the second field.
+    const auto row = csv.substr(csv.find("\nv,") + 3);
+    const auto mean_at = row.find(',') + 1;
+    const double parsed =
+        std::strtod(row.c_str() + mean_at, nullptr);
+    EXPECT_EQ(0, std::memcmp(&parsed, &value, sizeof(double)))
+        << "value " << value << " parsed as " << parsed;
+  }
 }
 
 TEST(Sink, JsonEscapesControlCharacters) {
