@@ -7,8 +7,11 @@
 // and recovery effects, lifetime differences reduce to pure energy
 // differences.
 //
-// The engine shards the (battery model x scheme x set) grid; workloads
-// key off the replicate seed so every cell sees the same sets (CRN).
+// The workload world comes from the scenario registry (`paper-table2`
+// by default; --scenario / --scenario.FIELD reshape it) — the battery
+// axis replaces the scenario's own cell. The engine shards the
+// (battery model x scheme x set) grid; workloads key off the replicate
+// seed so every cell sees the same sets (CRN).
 
 #include <cstdio>
 #include <vector>
@@ -16,25 +19,38 @@
 #include "exp/factories.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
-#include "tgff/workload.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bas;
-  util::Cli cli(argc, argv, util::Cli::with_bench_defaults(
-                                {{"sets", "6"}, {"seed", "29"}}));
+  util::Cli cli(argc, argv,
+                util::Cli::with_bench_defaults(scenario::with_scenario_defaults(
+                    {{"sets", "6"}, {"seed", "29"}}, "paper-table2")));
+  if (scenario::handle_list_request(cli)) {
+    return 0;
+  }
   const int sets = static_cast<int>(cli.get_int("sets"));
 
-  const auto proc = dvs::Processor::paper_default();
+  // The battery axis owns the cell choice; refuse the override instead
+  // of silently ignoring it.
+  if (!cli.get("scenario.battery").empty()) {
+    std::fprintf(stderr,
+                 "this ablation sweeps every battery model as its axis; "
+                 "--scenario.battery has no effect here\n");
+    return 2;
+  }
+  const auto scn = scenario::from_cli(cli);
+  const auto proc = scn.make_processor();
 
   util::print_banner("Ablation: Table-2 lifetimes (min) across battery models");
   std::printf("config: %s\n\n", cli.summary().c_str());
 
   exp::ExperimentSpec spec;
   spec.title = "ablation_battery_models";
-  spec.config = cli.config_summary();
+  spec.config = cli.config_summary() + " | " + scn.fingerprint();
   spec.grid = exp::Grid{std::vector<exp::Axis>{exp::battery_axis(),
                                                exp::scheme_axis()}};
   spec.metrics = {"lifetime_min"};
@@ -42,20 +58,9 @@ int main(int argc, char** argv) {
   spec.seed = cli.get_u64("seed");
   spec.run = [&](const exp::Job& job) -> std::vector<double> {
     util::Rng rng(job.replicate_seed);
-    tgff::WorkloadParams wp;
-    wp.graph_count = 3;
-    wp.target_utilization = 0.7 / 0.6;
-    wp.period_lo_s = 0.5;
-    wp.period_hi_s = 5.0;
-    const auto set = tgff::make_workload(wp, rng);
-
-    sim::SimConfig config;
-    config.horizon_s = 24.0 * 3600.0;
-    config.drain = false;
-    config.record_profile = false;
-    config.ac_model = sim::AcModel::kPerNodeMean;
-    config.seed = util::Rng::hash_combine(job.replicate_seed, 100u);
-
+    const auto set = scn.make_workload(rng);
+    const auto config =
+        scn.sim_config(util::Rng::hash_combine(job.replicate_seed, 100u));
     const auto battery = exp::make_battery(exp::battery_labels()[job.at(0)]);
     const auto r = sim::simulate_scheme(
         set, proc, exp::scheme_kind_at(job.at(1)), config, battery.get());

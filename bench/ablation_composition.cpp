@@ -6,31 +6,37 @@
 // whole cross product on one workload batch and reports lifetime — and
 // that the miss count is zero everywhere.
 //
-// The engine shards the (scope x DVS x priority x set) grid; workloads
-// key off the replicate seed so every cell sees the same sets (CRN).
+// The world comes from the scenario registry (`paper-table2` by
+// default; --scenario / --scenario.FIELD reshape it). The engine shards
+// the (scope x DVS x priority x set) grid; workloads key off the
+// replicate seed so every cell sees the same sets (CRN).
 
 #include <cstdio>
 #include <functional>
 #include <vector>
 
-#include "battery/kibam.hpp"
 #include "core/scheme.hpp"
 #include "dvs/clamped.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
-#include "tgff/workload.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bas;
-  util::Cli cli(argc, argv, util::Cli::with_bench_defaults(
-                                {{"sets", "6"}, {"seed", "23"}}));
+  util::Cli cli(argc, argv,
+                util::Cli::with_bench_defaults(scenario::with_scenario_defaults(
+                    {{"sets", "6"}, {"seed", "23"}}, "paper-table2")));
+  if (scenario::handle_list_request(cli)) {
+    return 0;
+  }
   const int sets = static_cast<int>(cli.get_int("sets"));
   const auto seed = cli.get_u64("seed");
 
-  const auto proc = dvs::Processor::paper_default();
+  const auto scn = scenario::from_cli(cli);
+  const auto proc = scn.make_processor();
   const double fmax = proc.fmax_hz();
 
   struct DvsRow {
@@ -64,7 +70,7 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.title = "ablation_composition";
-  spec.config = cli.config_summary();
+  spec.config = cli.config_summary() + " | " + scn.fingerprint();
   spec.grid.add("scope", {"most-imminent", "all-released"});
   std::vector<std::string> dvs_labels;
   for (const auto& d : dvs_rows) {
@@ -81,12 +87,7 @@ int main(int argc, char** argv) {
   spec.seed = seed;
   spec.run = [&](const exp::Job& job) -> std::vector<double> {
     util::Rng rng(job.replicate_seed);
-    tgff::WorkloadParams wp;
-    wp.graph_count = 3;
-    wp.target_utilization = 0.7 / 0.6;
-    wp.period_lo_s = 0.5;
-    wp.period_hi_s = 5.0;
-    const auto set = tgff::make_workload(wp, rng);
+    const auto set = scn.make_workload(rng);
 
     const auto& d = dvs_rows[job.at(1)];
     const auto& p = prio_cols[job.at(2)];
@@ -94,16 +95,11 @@ int main(int argc, char** argv) {
         std::string(d.label) + "+" + p.label, d.make(), p.make(),
         sched::make_history_estimator(), scopes[job.at(0)]);
 
-    sim::SimConfig config;
-    config.horizon_s = 24.0 * 3600.0;
-    config.drain = false;
-    config.record_profile = false;
-    config.ac_model = sim::AcModel::kPerNodeMean;
-    config.seed = util::Rng::hash_combine(job.replicate_seed, 100u);
-
-    bat::KibamBattery battery(bat::KibamParams::paper_aaa_nimh());
+    const auto config =
+        scn.sim_config(util::Rng::hash_combine(job.replicate_seed, 100u));
+    const auto battery = scn.make_battery();
     sim::Simulator sim(set, proc, scheme, config);
-    const auto r = sim.run(&battery);
+    const auto r = sim.run(battery.get());
     return {r.battery_lifetime_s / 60.0,
             static_cast<double>(r.deadline_misses)};
   };

@@ -7,29 +7,44 @@
 // oracle (clairvoyant) — under both actual-computation models, reporting
 // battery lifetime and energy.
 //
-// The engine shards the (AC model x estimator x set) grid; workloads
-// key off the replicate seed so every rung sees the same sets (CRN).
+// The world comes from the scenario registry (`paper-table2` by
+// default; --scenario / --scenario.FIELD reshape it); the AC-model axis
+// overrides the scenario's own setting per cell. The engine shards the
+// (AC model x estimator x set) grid; workloads key off the replicate
+// seed so every rung sees the same sets (CRN).
 
 #include <cstdio>
 #include <functional>
 #include <vector>
 
-#include "battery/kibam.hpp"
 #include "core/scheme.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
-#include "tgff/workload.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bas;
-  util::Cli cli(argc, argv, util::Cli::with_bench_defaults(
-                                {{"sets", "8"}, {"seed", "17"}}));
+  util::Cli cli(argc, argv,
+                util::Cli::with_bench_defaults(scenario::with_scenario_defaults(
+                    {{"sets", "8"}, {"seed", "17"}}, "paper-table2")));
+  if (scenario::handle_list_request(cli)) {
+    return 0;
+  }
   const int sets = static_cast<int>(cli.get_int("sets"));
 
-  const auto proc = dvs::Processor::paper_default();
+  // The ac_model axis owns the actual-computation regime; refuse the
+  // override instead of silently ignoring it.
+  if (!cli.get("scenario.ac-model").empty()) {
+    std::fprintf(stderr,
+                 "this ablation sweeps both AC models as its axis; "
+                 "--scenario.ac-model has no effect here\n");
+    return 2;
+  }
+  const auto scn = scenario::from_cli(cli);
+  const auto proc = scn.make_processor();
 
   struct Ladder {
     const char* label;
@@ -54,7 +69,7 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.title = "ablation_estimator";
-  spec.config = cli.config_summary();
+  spec.config = cli.config_summary() + " | " + scn.fingerprint();
   spec.grid.add("ac_model", {"per-node-mean", "iid"});
   spec.grid.add("estimator", rung_labels);
   spec.metrics = {"lifetime_min", "delivered_mah", "energy_j"};
@@ -62,12 +77,7 @@ int main(int argc, char** argv) {
   spec.seed = cli.get_u64("seed");
   spec.run = [&](const exp::Job& job) -> std::vector<double> {
     util::Rng rng(job.replicate_seed);
-    tgff::WorkloadParams wp;
-    wp.graph_count = 3;
-    wp.target_utilization = 0.7 / 0.6;
-    wp.period_lo_s = 0.5;
-    wp.period_hi_s = 5.0;
-    const auto set = tgff::make_workload(wp, rng);
+    const auto set = scn.make_workload(rng);
 
     const auto& rung = ladder[job.at(1)];
     core::Scheme scheme = core::make_custom_scheme(
@@ -75,16 +85,13 @@ int main(int argc, char** argv) {
         sched::make_pubs_priority(), rung.make(),
         core::ReadyScope::kAllReleased);
 
-    sim::SimConfig config;
-    config.horizon_s = 24.0 * 3600.0;
-    config.drain = false;
-    config.record_profile = false;
+    auto config =
+        scn.sim_config(util::Rng::hash_combine(job.replicate_seed, 100u));
     config.ac_model = ac_models[job.at(0)];
-    config.seed = util::Rng::hash_combine(job.replicate_seed, 100u);
 
-    bat::KibamBattery battery(bat::KibamParams::paper_aaa_nimh());
+    const auto battery = scn.make_battery();
     sim::Simulator sim(set, proc, scheme, config);
-    const auto r = sim.run(&battery);
+    const auto r = sim.run(battery.get());
     return {r.battery_lifetime_s / 60.0, r.battery_delivered_mah, r.energy_j};
   };
 

@@ -8,10 +8,14 @@
 // as graphs are added, but pUBS over all released tasks stays closest,
 // then pUBS on the most imminent graph, then LTF, then Random.
 //
-// One engine job = one (graph count, set) pair; it prices the
-// near-optimal reference once and then all four ordering schemes on the
-// same workload, so the normalization shares random numbers by
-// construction.
+// The world comes from the scenario registry (`paper-fig6` by default;
+// --scenario / --scenario.FIELD pick or reshape it). The graph-count
+// axis overrides the scenario's graph count per cell; --horizon and the
+// figure's drain-to-completion behaviour override its lifetime-style
+// simulation window. One engine job = one (graph count, set) pair; it
+// prices the near-optimal reference once and then all four ordering
+// schemes on the same workload, so the normalization shares random
+// numbers by construction.
 
 #include <cstdio>
 #include <string>
@@ -20,7 +24,7 @@
 #include "analysis/compare.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
-#include "tgff/workload.hpp"
+#include "scenario/scenario.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -54,16 +58,37 @@ bas::core::Scheme make_ordering_scheme(const std::string& which,
 int main(int argc, char** argv) {
   using namespace bas;
   util::Cli cli(argc, argv,
-                util::Cli::with_bench_defaults({{"sets", "10"},
-                                                {"seed", "6"},
-                                                {"max-graphs", "10"},
-                                                {"horizon", "60"},
-                                                {"full", "false"}}));
-  const int sets = cli.get_flag("full") ? 40 : static_cast<int>(cli.get_int("sets"));
+                util::Cli::with_bench_defaults(scenario::with_scenario_defaults(
+                    {{"sets", "10"},
+                     {"seed", "6"},
+                     {"max-graphs", "10"},
+                     {"horizon", "60"},
+                     {"full", "false"}},
+                    "paper-fig6")));
+  if (scenario::handle_list_request(cli)) {
+    return 0;
+  }
+  const int sets =
+      cli.get_flag("full") ? 40 : static_cast<int>(cli.get_int("sets"));
   const int max_graphs = static_cast<int>(cli.get_int("max-graphs"));
-  const double horizon_s = cli.get_double("horizon");
 
-  const auto proc = dvs::Processor::paper_default();
+  // The taskgraphs axis owns the graph count; refuse the override
+  // instead of silently ignoring it (use --max-graphs to size the axis).
+  if (!cli.get("scenario.graphs").empty()) {
+    std::fprintf(stderr,
+                 "fig6 sweeps the graph count as its axis; use "
+                 "--max-graphs instead of --scenario.graphs\n");
+    return 2;
+  }
+  auto base = scenario::from_cli(cli);
+  // The figure is an energy comparison over a fixed window, not a
+  // run-to-battery-death: short horizon (the --horizon flag, unless a
+  // --scenario.horizon override asked otherwise), drain in-flight work.
+  if (cli.get("scenario.horizon").empty()) {
+    base.sim.horizon_s = cli.get_double("horizon");
+  }
+  base.sim.drain = true;
+  const auto proc = base.make_processor();
   const std::vector<std::string> schemes{"random", "ltf", "pubs-imminent",
                                          "pubs-all"};
 
@@ -80,26 +105,17 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.title = "fig6_ordering_schemes";
-  spec.config = cli.config_summary();
+  spec.config = cli.config_summary() + " | " + base.fingerprint();
   spec.grid.add("taskgraphs", graph_labels);
   spec.metrics = {"random", "ltf", "pubs_imminent", "pubs_all"};
   spec.replicates = sets;
   spec.seed = cli.get_u64("seed");
   spec.run = [&](const exp::Job& job) -> std::vector<double> {
     util::Rng rng(job.seed);
-    tgff::WorkloadParams wp;
-    wp.graph_count = graph_counts[job.at(0)];
-    wp.target_utilization = 0.7 / 0.6;  // 70% actual utilization
-    wp.period_lo_s = 0.5;
-    wp.period_hi_s = 5.0;
-    const auto set = tgff::make_workload(wp, rng);
-
-    sim::SimConfig config;
-    config.horizon_s = horizon_s;
-    config.drain = true;
-    config.seed = util::Rng::hash_combine(job.seed, 555u);
-    config.record_profile = false;
-    config.ac_model = sim::AcModel::kPerNodeMean;
+    auto scn = base;
+    scn.workload.graph_count = graph_counts[job.at(0)];
+    const auto set = scn.make_workload(rng);
+    const auto config = scn.sim_config(util::Rng::hash_combine(job.seed, 555u));
 
     const double near_opt = analysis::near_optimal_energy_j(set, proc, config);
 

@@ -12,45 +12,26 @@
 // the ideal bucket cannot distinguish the orders, and Peukert (no
 // recovery, only rate penalty) is nearly indifferent too.
 //
-// The (model) sweep runs on the experiment engine: one job per battery
-// model evaluates all three arrangements on private clones, so the bench
-// speaks the shared campaign interface (--jobs/--csv/--shard/--cache).
+// The battery ladder comes from the scenario registry's battery axis
+// (exp::battery_labels), so the bench can never drift from the models
+// the lifetime scenarios use. The (model) sweep runs on the experiment
+// engine: one job per battery model evaluates all three arrangements on
+// private instances, so the bench speaks the shared campaign interface
+// (--jobs/--csv/--shard/--cache). For the matching *workload* stress —
+// schemes compared where profile shape decides the gap — see the
+// `paper-guideline1` scenario in the gallery.
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "battery/diffusion.hpp"
-#include "battery/ideal.hpp"
-#include "battery/kibam.hpp"
 #include "battery/lifetime.hpp"
-#include "battery/peukert.hpp"
-#include "battery/stochastic.hpp"
+#include "exp/factories.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
-
-std::unique_ptr<bas::bat::Battery> make_model(std::size_t index) {
-  using namespace bas;
-  switch (index) {
-    case 0:
-      return std::make_unique<bat::IdealBattery>(bat::to_coulombs(2000.0));
-    case 1:
-      return std::make_unique<bat::PeukertBattery>(bat::PeukertParams{});
-    case 2:
-      return std::make_unique<bat::KibamBattery>(
-          bat::KibamParams::paper_aaa_nimh());
-    case 3:
-      return std::make_unique<bat::DiffusionBattery>(
-          bat::DiffusionParams::paper_aaa_nimh());
-    default:
-      return std::make_unique<bat::StochasticBattery>(
-          bat::StochasticParams{});
-  }
-}
 
 double pass_and_drain_mah(bas::bat::Battery& battery,
                           const bas::bat::LoadProfile& pass,
@@ -90,11 +71,6 @@ int main(int argc, char** argv) {
                                   : levels[levels.size() - 1 - k / 2]);
   }
 
-  std::vector<std::string> model_labels;
-  for (std::size_t i = 0; i < 5; ++i) {
-    model_labels.push_back(make_model(i)->name());
-  }
-
   util::print_banner(
       "Guideline 1: equal-demand staircase order vs total extractable charge");
   std::printf(
@@ -106,16 +82,17 @@ int main(int argc, char** argv) {
   exp::ExperimentSpec spec;
   spec.title = "guideline1_profile_shape";
   spec.config = cli.config_summary();
-  spec.grid.add("model", model_labels);
+  spec.grid = exp::Grid{std::vector<exp::Axis>{exp::battery_axis()}};
   spec.metrics = {"non_increasing_mah", "zigzag_mah", "non_decreasing_mah",
                   "gain_pct"};
   spec.run = [&](const exp::Job& job) -> std::vector<double> {
+    const auto& label = exp::battery_labels()[job.at(0)];
     const double down =
-        pass_and_drain_mah(*make_model(job.at(0)), decreasing, drain_a);
+        pass_and_drain_mah(*exp::make_battery(label), decreasing, drain_a);
     const double mix =
-        pass_and_drain_mah(*make_model(job.at(0)), zigzag, drain_a);
+        pass_and_drain_mah(*exp::make_battery(label), zigzag, drain_a);
     const double up =
-        pass_and_drain_mah(*make_model(job.at(0)), increasing, drain_a);
+        pass_and_drain_mah(*exp::make_battery(label), increasing, drain_a);
     return {down, mix, up, 100.0 * (down / up - 1.0)};
   };
 

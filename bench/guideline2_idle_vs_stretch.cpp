@@ -11,37 +11,45 @@
 // stretching must win on charge consumed per job — and therefore on
 // battery lifetime when the pattern repeats.
 //
-// The (idle fraction) sweep runs on the experiment engine: infeasible
-// fractions (sprint above fmax) are filtered out of the axis up front,
-// and each job prices one fraction on its own battery clone — so the
-// bench speaks the shared campaign interface (--jobs/--csv/--shard).
+// The platform (processor + battery cell) comes from the scenario
+// registry — by default the paper's `paper-table2` pairing; try
+// `--scenario sensor-node` or `--scenario.battery=diffusion` to price
+// the same trade on another world. The (idle fraction) sweep runs on
+// the experiment engine: infeasible fractions (sprint above fmax) are
+// filtered out of the axis up front, and each job prices one fraction
+// on its own battery instance — so the bench speaks the shared campaign
+// interface (--jobs/--csv/--shard).
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "battery/kibam.hpp"
 #include "battery/lifetime.hpp"
-#include "dvs/processor.hpp"
 #include "dvs/realizer.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
+#include "scenario/scenario.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bas;
   util::Cli cli(argc, argv,
-                util::Cli::with_bench_defaults(
-                    {{"window", "1.0"}, {"cycles", "5e8"}}));
+                util::Cli::with_bench_defaults(scenario::with_scenario_defaults(
+                    {{"window", "1.0"}, {"cycles", "5e8"}}, "paper-table2")));
+  if (scenario::handle_list_request(cli)) {
+    return 0;
+  }
   const double window_s = cli.get_double("window");
   const double cycles = cli.get_double("cycles");
 
-  const auto proc = dvs::Processor::paper_default();
+  const auto scn = scenario::from_cli(cli);
+  const auto proc = scn.make_processor();
 
   util::print_banner("Guideline 2: stretch-to-deadline vs idle-then-sprint");
-  std::printf("job: %.2e cycles every %.1f s on the paper's processor\n\n",
-              cycles, window_s);
+  std::printf(
+      "job: %.2e cycles every %.1f s on the '%s' processor with a %s cell\n\n",
+      cycles, window_s, scn.processor.c_str(), scn.battery.c_str());
 
   // Only the idle fractions whose sprint frequency is realizable make it
   // onto the axis — the hand-rolled loop used to `break` here.
@@ -65,7 +73,7 @@ int main(int argc, char** argv) {
 
   exp::ExperimentSpec spec;
   spec.title = "guideline2_idle_vs_stretch";
-  spec.config = cli.config_summary();
+  spec.config = cli.config_summary() + " | " + scn.fingerprint();
   spec.grid.add("idle_frac", idle_labels);
   spec.metrics = {"sprint_freq_ghz", "charge_per_job_c", "energy_per_job_j",
                   "lifetime_min", "jobs_completed"};
@@ -92,8 +100,8 @@ int main(int argc, char** argv) {
     const double energy_per_job =
         exec_s * (plan.hi_fraction * proc.core_power_w(plan.hi) +
                   (1.0 - plan.hi_fraction) * proc.core_power_w(plan.lo));
-    const bat::KibamBattery battery(bat::KibamParams::paper_aaa_nimh());
-    const auto life = bat::lifetime_under_profile(battery, period);
+    const auto battery = scn.make_battery();
+    const auto life = bat::lifetime_under_profile(*battery, period);
     return {plan.effective_freq_hz / 1e9, period.total_charge_c(),
             energy_per_job, life.lifetime_min(),
             static_cast<double>(

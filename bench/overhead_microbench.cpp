@@ -144,10 +144,10 @@ inline void run_all() {
 #include "core/scheme.hpp"
 #include "dvs/policy.hpp"
 #include "dvs/realizer.hpp"
+#include "scenario/scenario.hpp"
 #include "sched/feasibility.hpp"
 #include "sched/priority.hpp"
 #include "sim/simulator.hpp"
-#include "tgff/workload.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -217,7 +217,7 @@ void BM_FeasibilityCheck(benchmark::State& state) {
 BENCHMARK(BM_FeasibilityCheck)->Arg(3)->Arg(10)->Arg(30);
 
 void BM_Realize(benchmark::State& state) {
-  const auto proc = dvs::Processor::paper_default();
+  const auto proc = scenario::make_processor("paper");
   double f = 0.51e9;
   for (auto _ : state) {
     f = f > 0.99e9 ? 0.51e9 : f + 1e6;
@@ -227,18 +227,17 @@ void BM_Realize(benchmark::State& state) {
 BENCHMARK(BM_Realize);
 
 void BM_SimulatedSecondBas2(benchmark::State& state) {
+  // The multimedia scenario's short frame periods pack the densest
+  // decision stream per simulated second of any preset.
   util::Rng rng(9);
-  tgff::WorkloadParams wp;
-  wp.graph_count = static_cast<int>(state.range(0));
-  wp.target_utilization = 0.9;
-  wp.period_lo_s = 0.05;
-  wp.period_hi_s = 0.2;
-  const auto set = tgff::make_workload(wp, rng);
-  const auto proc = dvs::Processor::paper_default();
+  auto scn = scenario::scenario("multimedia-pipeline");
+  scn.workload.graph_count = static_cast<int>(state.range(0));
+  const auto set = scn.make_workload(rng);
+  const auto proc = scn.make_processor();
   for (auto _ : state) {
-    sim::SimConfig config;
+    sim::SimConfig config = scn.sim_config(1);
     config.horizon_s = 1.0;
-    config.record_profile = false;
+    config.drain = true;
     core::Scheme scheme =
         core::make_scheme(core::SchemeKind::kBas2, proc.fmax_hz(), 1);
     sim::Simulator sim(set, proc, scheme, config);

@@ -21,9 +21,9 @@
 #include <string>
 #include <vector>
 
-#include "dvs/processor.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
+#include "scenario/scenario.hpp"
 #include "sched/optimal.hpp"
 #include "tgff/generator.hpp"
 #include "util/cli.hpp"
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
 
   // Energy comparisons run on the continuous-frequency idealization so
   // the optimal search has a smooth objective (see DESIGN.md).
-  const auto proc = dvs::Processor::continuous_ideal(1e9, 5.0);
+  const auto proc = scenario::make_processor("continuous");
 
   util::print_banner(
       "Table 1: energy normalized w.r.t. optimal schedule (single DAGs)");

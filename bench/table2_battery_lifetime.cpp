@@ -13,6 +13,13 @@
 // ordering EDF < ccEDF < laEDF < BAS-1 < BAS-2 in lifetime, with BAS-2
 // up to ~25% over laEDF and ~2x over EDF-without-DVS.
 //
+// The world comes from the scenario registry (default: the paper's
+// `paper-table2` preset; see EXPERIMENTS.md for the utilization-basis
+// calibration). Any preset or per-field override runs the same table:
+//
+//   ./table2_battery_lifetime --scenario bursty
+//   ./table2_battery_lifetime --scenario.utilization=0.9
+//
 // Results are averaged over `--sets` random task-graph sets (the paper
 // uses 100; default here is smaller for a quick run — pass --full). The
 // (scheme x set) sweep runs on the experiment engine: --jobs N shards it
@@ -24,44 +31,32 @@
 #include "exp/factories.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
-#include "tgff/workload.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bas;
   util::Cli cli(argc, argv,
-                util::Cli::with_bench_defaults({{"sets", "12"},
-                                                {"graphs", "3"},
-                                                {"seed", "2006"},
-                                                {"utilization", "0.7"},
-                                                {"util-basis", "actual"},
-                                                {"battery", "kibam"},
-                                                {"full", "false"}}));
-  const int sets = cli.get_flag("full") ? 100 : static_cast<int>(cli.get_int("sets"));
-  const int graphs = static_cast<int>(cli.get_int("graphs"));
-
-  // The paper's anchors (EDF: 74 min / 1567 mAh at "70% utilization")
-  // are only reproducible when 70% is the *actual* utilization; with
-  // actuals averaging 0.6*wc that corresponds to a worst-case
-  // utilization of ~1.17. Pass --util-basis worst-case for the strict
-  // EDF-guaranteed regime instead. See EXPERIMENTS.md.
-  const double mean_frac = 0.6;  // mean of U(0.2, 1.0)
-  double utilization = cli.get_double("utilization");
-  if (cli.get("util-basis") == "actual") {
-    utilization /= mean_frac;
+                util::Cli::with_bench_defaults(scenario::with_scenario_defaults(
+                    {{"sets", "12"}, {"seed", "2006"}, {"full", "false"}},
+                    "paper-table2")));
+  if (scenario::handle_list_request(cli)) {
+    return 0;
   }
-
-  const auto proc = dvs::Processor::paper_default();
-  const std::string battery = cli.get("battery");
+  const int sets =
+      cli.get_flag("full") ? 100 : static_cast<int>(cli.get_int("sets"));
+  const auto scn = scenario::from_cli(cli);
+  const auto proc = scn.make_processor();
 
   util::print_banner("Table 2: battery lifetime by scheduling scheme");
-  std::printf("config: %s\n\n", cli.summary().c_str());
+  std::printf("config: %s\nscenario: %s\n\n", cli.summary().c_str(),
+              scn.fingerprint().c_str());
 
   exp::ExperimentSpec spec;
   spec.title = "table2_battery_lifetime";
-  spec.config = cli.config_summary();
+  spec.config = cli.config_summary() + " | " + scn.fingerprint();
   spec.grid.add("scheme", exp::scheme_labels());
   spec.metrics = {"delivered_mah", "lifetime_min", "energy_j", "misses"};
   spec.replicates = sets;
@@ -70,22 +65,10 @@ int main(int argc, char** argv) {
     // Workload and actual-computation draws key off the replicate seed
     // only, so every scheme sees the same random task-graph sets (CRN).
     util::Rng rng(job.replicate_seed);
-    tgff::WorkloadParams wp;
-    wp.graph_count = graphs;
-    wp.target_utilization = utilization;
-    wp.period_lo_s = 0.5;
-    wp.period_hi_s = 5.0;
-    const auto set = tgff::make_workload(wp, rng);
-
-    sim::SimConfig config;
-    config.horizon_s = 24.0 * 3600.0;  // the battery dies long before
-    config.drain = false;
-    config.seed = util::Rng::hash_combine(job.replicate_seed, 1000u);
-    config.record_profile = false;
-    config.record_trace = false;
-    config.ac_model = sim::AcModel::kPerNodeMean;
-
-    const auto cell = exp::make_battery(battery);
+    const auto set = scn.make_workload(rng);
+    const auto config =
+        scn.sim_config(util::Rng::hash_combine(job.replicate_seed, 1000u));
+    const auto cell = scn.make_battery();
     const auto r = sim::simulate_scheme(
         set, proc, exp::scheme_kind_at(job.at(0)), config, cell.get());
     return {r.battery_delivered_mah, r.battery_lifetime_s / 60.0, r.energy_j,

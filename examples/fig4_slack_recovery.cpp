@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dvs/processor.hpp"
+#include "scenario/scenario.hpp"
 #include "sched/optimal.hpp"
 #include "taskgraph/graph.hpp"
 
@@ -44,7 +45,7 @@ void print_trace(const std::string& label, const bas::tg::TaskGraph& g,
 
 int main() {
   using namespace bas;
-  const auto proc = dvs::Processor::continuous_ideal(1e9, 5.0);
+  const auto proc = scenario::make_processor("continuous");
 
   tg::TaskGraph g(10.0, "fig4");
   g.add_node(4e9, "task1");  // wc = 4 s at 1 GHz

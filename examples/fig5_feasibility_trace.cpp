@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "core/scheme.hpp"
-#include "dvs/processor.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "taskgraph/set.hpp"
 
@@ -57,7 +57,7 @@ void run_and_print(const char* label, bas::core::Scheme& scheme,
 
 int main() {
   using namespace bas;
-  const auto proc = dvs::Processor::paper_default();
+  const auto proc = scenario::make_processor("paper");
   const double fmax = proc.fmax_hz();
 
   tg::TaskGraphSet set;

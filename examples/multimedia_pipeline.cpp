@@ -2,12 +2,16 @@
 // of device). A video pipeline, an audio pipeline and a UI task share
 // one DVS processor; we compare how long a charge lasts under each of
 // the five Table-2 schemes, and what that means in minutes of playback.
+//
+// The task graphs are hand-crafted (named stages, real frame rates);
+// the platform and simulation knobs come from the scenario registry's
+// `multimedia-pipeline` preset — the same world whose *randomized*
+// cousin the scenario gallery sweeps.
 
 #include <cstdio>
 
 #include "analysis/compare.hpp"
-#include "battery/kibam.hpp"
-#include "dvs/processor.hpp"
+#include "scenario/scenario.hpp"
 #include "taskgraph/set.hpp"
 #include "util/table.hpp"
 
@@ -62,22 +66,19 @@ bas::tg::TaskGraphSet media_player_workload() {
 int main() {
   using namespace bas;
   const auto set = media_player_workload();
-  const auto proc = dvs::Processor::paper_default();
+  const auto& world = scenario::scenario("multimedia-pipeline");
+  const auto proc = world.make_processor();
   std::printf("media player: %zu graphs, %zu tasks, worst-case utilization "
               "%.1f%%\n\n",
               set.size(), set.total_nodes(),
               100.0 * set.utilization(proc.fmax_hz()));
 
-  const bat::KibamBattery battery(bat::KibamParams::paper_aaa_nimh());
-  sim::SimConfig config;
+  const auto battery = world.make_battery();
+  auto config = world.sim_config(11);  // per-node-mean: frames have texture
   config.horizon_s = 48.0 * 3600.0;
-  config.drain = false;
-  config.record_profile = false;
-  config.ac_model = sim::AcModel::kPerNodeMean;  // frames have texture
-  config.seed = 11;
 
   const auto outcomes = analysis::compare_schemes(
-      set, proc, core::table2_schemes(), config, &battery);
+      set, proc, core::table2_schemes(), config, battery.get());
 
   util::Table table({"scheme", "playback (min)", "delivered (mAh)",
                      "avg current (A)", "frames decoded", "misses"});

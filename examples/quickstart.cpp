@@ -9,9 +9,8 @@
 
 #include <cstdio>
 
-#include "battery/kibam.hpp"
 #include "core/scheme.hpp"
-#include "dvs/processor.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "taskgraph/set.hpp"
 
@@ -43,9 +42,12 @@ int main() {
   }
   workload.validate();
 
-  // 2. The paper's processor: (0.5 GHz, 3 V), (0.75 GHz, 4 V),
-  //    (1 GHz, 5 V) behind a DC-DC converter on a 1.2 V battery rail.
-  const auto proc = dvs::Processor::paper_default();
+  // 2. The platform comes from the scenario registry: the paper's
+  //    processor — (0.5 GHz, 3 V), (0.75 GHz, 4 V), (1 GHz, 5 V) behind
+  //    a DC-DC converter on a 1.2 V battery rail — paired with the
+  //    calibrated 2000 mAh KiBaM cell.
+  const auto& world = scenario::scenario("paper-table2");
+  const auto proc = world.make_processor();
   std::printf("workload: %zu graphs, worst-case utilization %.1f%%\n",
               workload.size(), 100.0 * workload.utilization(proc.fmax_hz()));
 
@@ -67,14 +69,14 @@ int main() {
       energy_run.deadline_misses, energy_run.energy_j,
       energy_run.average_current_a());
 
-  // 5. Attach the calibrated 2000 mAh cell and run until it dies.
-  bat::KibamBattery battery(bat::KibamParams::paper_aaa_nimh());
+  // 5. Attach the scenario's battery and run until it dies.
+  const auto battery = world.make_battery();
   sim::SimConfig life_config = config;
   life_config.horizon_s = 24.0 * 3600.0;
   life_config.drain = false;
   life_config.record_profile = false;
   const auto life_run =
-      sim::Simulator(workload, proc, scheme, life_config).run(&battery);
+      sim::Simulator(workload, proc, scheme, life_config).run(battery.get());
   std::printf("battery: died=%s, lifetime %.1f min, delivered %.0f mAh\n",
               life_run.battery_died ? "yes" : "no",
               life_run.battery_lifetime_s / 60.0,

@@ -1,55 +1,27 @@
 #include "exp/factories.hpp"
 
-#include <stdexcept>
-
-#include "battery/diffusion.hpp"
-#include "battery/ideal.hpp"
-#include "battery/kibam.hpp"
-#include "battery/peukert.hpp"
-#include "battery/stochastic.hpp"
+#include "scenario/scenario.hpp"
 
 namespace bas::exp {
 
 const std::vector<std::string>& battery_labels() {
-  static const std::vector<std::string> labels{
-      "ideal", "peukert", "kibam", "diffusion", "stochastic"};
-  return labels;
+  return scenario::battery_labels();
 }
 
 std::unique_ptr<bat::Battery> make_battery(const std::string& label) {
-  if (label == "ideal") {
-    return std::make_unique<bat::IdealBattery>(bat::to_coulombs(2000.0));
-  }
-  if (label == "peukert") {
-    return std::make_unique<bat::PeukertBattery>(
-        bat::PeukertParams{bat::to_coulombs(2000.0), 1.2, 0.2});
-  }
-  if (label == "kibam") {
-    return std::make_unique<bat::KibamBattery>(
-        bat::KibamParams::paper_aaa_nimh());
-  }
-  if (label == "diffusion") {
-    return std::make_unique<bat::DiffusionBattery>(
-        bat::DiffusionParams::paper_aaa_nimh());
-  }
-  if (label == "stochastic") {
-    return std::make_unique<bat::StochasticBattery>(bat::StochasticParams{});
-  }
-  std::string known;
-  for (const auto& l : battery_labels()) {
-    known += (known.empty() ? "" : ", ") + l;
-  }
-  throw std::invalid_argument("unknown battery model '" + label +
-                              "' (known: " + known + ")");
+  return scenario::make_battery(label);
 }
 
 Axis battery_axis() { return Axis{"battery", battery_labels()}; }
 
-std::vector<std::string> scheme_labels() {
-  std::vector<std::string> labels;
-  for (const auto kind : core::table2_schemes()) {
-    labels.push_back(core::to_string(kind));
-  }
+const std::vector<std::string>& scheme_labels() {
+  static const std::vector<std::string> labels = [] {
+    std::vector<std::string> out;
+    for (const auto kind : core::table2_schemes()) {
+      out.push_back(core::to_string(kind));
+    }
+    return out;
+  }();
   return labels;
 }
 
@@ -58,5 +30,7 @@ core::SchemeKind scheme_kind_at(std::size_t i) {
 }
 
 Axis scheme_axis() { return Axis{"scheme", scheme_labels()}; }
+
+Axis scenario_axis() { return Axis{"scenario", scenario::scenario_names()}; }
 
 }  // namespace bas::exp

@@ -1,11 +1,12 @@
 #pragma once
 // Shared axis/object factories for bench sweeps.
 //
-// The bench drivers used to duplicate these lists: the battery-model
-// ladder (calibrated to the paper's 2000 mAh AAA NiMH cell where the
-// model has parameters to calibrate) and the five Table-2 scheduling
-// schemes. Keeping label -> object construction here means a Job's axis
-// index is all a run function needs to build its own private instances.
+// Label -> object construction for platform pieces lives in the
+// scenario registry (scenario/scenario.hpp) — the functions here are
+// thin forwards plus the Axis adapters the experiment grids consume, so
+// a Job's axis index is all a run function needs to build its own
+// private instances. Every label function returns a reference to one
+// static list; there is exactly one source of truth per axis.
 
 #include <memory>
 #include <string>
@@ -17,23 +18,29 @@
 
 namespace bas::exp {
 
-/// {"ideal", "peukert", "kibam", "diffusion", "stochastic"}.
+/// {"ideal", "peukert", "kibam", "diffusion", "stochastic"} — forwarded
+/// from scenario::battery_labels().
 const std::vector<std::string>& battery_labels();
 
-/// Fresh battery by label; throws std::invalid_argument on an unknown
-/// one (the message lists the valid labels).
+/// Fresh battery by label (scenario::make_battery); throws
+/// std::invalid_argument on an unknown one (the message lists the valid
+/// labels).
 std::unique_ptr<bat::Battery> make_battery(const std::string& label);
 
 /// Axis "battery" over battery_labels().
 Axis battery_axis();
 
 /// Table-2 scheme labels in the paper's order (EDF .. BAS-2).
-std::vector<std::string> scheme_labels();
+const std::vector<std::string>& scheme_labels();
 
 /// The SchemeKind behind scheme_labels()[i].
 core::SchemeKind scheme_kind_at(std::size_t i);
 
 /// Axis "scheme" over scheme_labels().
 Axis scheme_axis();
+
+/// Axis "scenario" over scenario::scenario_names() — sweep workload
+/// worlds like any other factor.
+Axis scenario_axis();
 
 }  // namespace bas::exp

@@ -124,6 +124,11 @@ std::string Cli::summary() const {
   std::ostringstream out;
   bool first = true;
   for (const auto& [key, value] : values_) {
+    // Unset optional values would render as a bare "--key" and make the
+    // banner ambiguous to paste back; the empty string is their default.
+    if (value.empty()) {
+      continue;
+    }
     if (!first) {
       out << ' ';
     }
@@ -134,14 +139,20 @@ std::string Cli::summary() const {
 }
 
 std::string Cli::config_summary() const {
-  static const char* const kEngineFlags[] = {"jobs",  "csv",   "shard",
-                                             "cache", "merge", "progress"};
+  static const char* const kEngineFlags[] = {
+      "jobs", "csv", "shard", "cache", "merge", "progress", "list-scenarios"};
   std::ostringstream out;
   bool first = true;
   for (const auto& [key, value] : values_) {
     if (std::find_if(std::begin(kEngineFlags), std::end(kEngineFlags),
                      [&key](const char* flag) { return key == flag; }) !=
         std::end(kEngineFlags)) {
+      continue;
+    }
+    // Empty values mark unset optional settings (e.g. --scenario.FIELD
+    // overrides); leaving them out keeps the cache key stable when a new
+    // optional field is introduced.
+    if (value.empty()) {
       continue;
     }
     if (!first) {

@@ -54,11 +54,14 @@ class Cli {
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Renders "--key value" pairs of the effective configuration, for
-  /// reproducibility banners at the top of each bench's output.
+  /// reproducibility banners at the top of each bench's output. Options
+  /// whose value is empty (unset optional settings) are left out.
   std::string summary() const;
 
   /// summary() minus the engine/campaign flags (--jobs, --csv, --shard,
-  /// --cache, --merge, --progress) — exactly the options that can alter
+  /// --cache, --merge, --progress, --list-scenarios) and minus options
+  /// whose value is empty (unset optional settings, e.g. unused
+  /// --scenario.FIELD overrides) — exactly the options that can alter
   /// job outputs. Feed it to ExperimentSpec::config so the resume cache
   /// is invalidated when any driver parameter changes, while sharded,
   /// resumed and differently-threaded runs of one sweep still share a
