@@ -60,6 +60,21 @@ bool parse_record(const std::string& line, const std::string& fp_hex,
   return true;
 }
 
+std::string format_record(const std::string& fp_hex, std::size_t job_index,
+                          const std::vector<double>& metrics) {
+  std::string line =
+      "{\"fp\":\"" + fp_hex + "\",\"job\":" + std::to_string(job_index) +
+      ",\"metrics\":[";
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    if (m) {
+      line += ',';
+    }
+    line += format_double(metrics[m]);
+  }
+  line += "]}\n";
+  return line;
+}
+
 }  // namespace
 
 ResultCache::ResultCache(std::string dir, std::uint64_t fingerprint,
@@ -100,16 +115,8 @@ std::map<std::size_t, std::vector<double>> ResultCache::load(
 
 void ResultCache::append(std::size_t job_index,
                          const std::vector<double>& metrics) {
-  std::string line = "{\"fp\":\"" + fingerprint_hex(fingerprint_) +
-                     "\",\"job\":" + std::to_string(job_index) +
-                     ",\"metrics\":[";
-  for (std::size_t m = 0; m < metrics.size(); ++m) {
-    if (m) {
-      line += ',';
-    }
-    line += format_double(metrics[m]);
-  }
-  line += "]}\n";
+  const std::string line =
+      format_record(fingerprint_hex(fingerprint_), job_index, metrics);
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (!out_.is_open()) {
@@ -135,6 +142,82 @@ void ResultCache::append(std::size_t job_index,
     }
   }
   out_ << line << std::flush;
+}
+
+CompactionStats compact_cache(const std::string& dir,
+                              std::uint64_t fingerprint,
+                              std::size_t metric_count) {
+  CompactionStats stats;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return stats;  // nothing to compact
+  }
+
+  // Scan exactly the way load() does — same iteration order, last
+  // record per job index wins — so the survivors are the records a
+  // load() of the uncompacted directory would have served.
+  const std::string fp_hex = fingerprint_hex(fingerprint);
+  std::map<std::size_t, std::vector<double>> kept;
+  std::vector<std::filesystem::path> old_files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".jsonl") {
+      continue;
+    }
+    ++stats.files_scanned;
+    old_files.push_back(entry.path());
+    std::ifstream file(entry.path());
+    std::string line;
+    while (std::getline(file, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      ++stats.records_seen;
+      std::size_t job_index = 0;
+      std::vector<double> metrics;
+      if (parse_record(line, fp_hex, &job_index, &metrics) &&
+          metrics.size() == metric_count) {
+        kept[job_index] = std::move(metrics);
+      }
+    }
+  }
+  stats.records_kept = kept.size();
+
+  // Write the survivors (in job order — compacted files are canonical,
+  // so two compactions of equivalent directories are byte-identical)
+  // to a temp name, rename it into place, and only then remove the old
+  // files. A crash before the rename leaves the originals untouched
+  // (load() ignores the ".tmp" extension); a crash after it leaves the
+  // compacted file plus some originals, which load() merges to the
+  // same records. At no instant does the directory lack the data.
+  const std::string target = dir + "/" + fp_hex + ".jsonl";
+  const std::string target_name = fp_hex + ".jsonl";
+  if (!kept.empty()) {
+    const std::string tmp = target + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot write compacted cache file '" + tmp +
+                               "'");
+    }
+    for (const auto& [job_index, metrics] : kept) {
+      out << format_record(fp_hex, job_index, metrics);
+    }
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("failed writing compacted cache file '" + tmp +
+                               "'");
+    }
+    out.close();
+    std::filesystem::rename(tmp, target);
+  }
+  for (const auto& path : old_files) {
+    if (!kept.empty() && path.filename().string() == target_name) {
+      continue;  // now holds the compacted records
+    }
+    if (std::filesystem::remove(path, ec)) {
+      ++stats.files_removed;
+    }
+  }
+  return stats;
 }
 
 }  // namespace bas::exp

@@ -59,4 +59,30 @@ class ResultCache {
   std::ofstream out_;
 };
 
+/// What compact_cache() did, for progress notes and tests.
+struct CompactionStats {
+  std::size_t files_scanned = 0;
+  std::size_t files_removed = 0;
+  std::size_t records_seen = 0;
+  std::size_t records_kept = 0;
+};
+
+/// Rewrites cache directory `dir` into a single `<fingerprint>.jsonl`
+/// holding exactly one record per job index: re-run duplicates are
+/// deduped (the surviving record is the one load() would have served),
+/// and records with stale fingerprints, the wrong metric arity or torn
+/// tails are dropped. Every other *.jsonl file — shard partials,
+/// resumed-run appendixes, dead campaigns — is removed. The compacted
+/// file is written to a temp name, renamed into place, and only then
+/// are the old files removed, so a kill at any instant leaves the
+/// directory loading to the same records. Callers must be the only
+/// process touching `dir` — compacting while another writer appends
+/// discards that writer's file (Runner::run therefore rejects
+/// compaction from a shard). A missing directory is a no-op (zero
+/// stats). Throws std::runtime_error when the compacted file cannot be
+/// written.
+CompactionStats compact_cache(const std::string& dir,
+                              std::uint64_t fingerprint,
+                              std::size_t metric_count);
+
 }  // namespace bas::exp

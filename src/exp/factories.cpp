@@ -1,5 +1,6 @@
 #include "exp/factories.hpp"
 
+#include "arrival/arrival.hpp"
 #include "scenario/scenario.hpp"
 
 namespace bas::exp {
@@ -32,5 +33,7 @@ core::SchemeKind scheme_kind_at(std::size_t i) {
 Axis scheme_axis() { return Axis{"scheme", scheme_labels()}; }
 
 Axis scenario_axis() { return Axis{"scenario", scenario::scenario_names()}; }
+
+Axis arrival_axis() { return Axis{"arrival", arrival::labels()}; }
 
 }  // namespace bas::exp

@@ -43,4 +43,9 @@ Axis scheme_axis();
 /// worlds like any other factor.
 Axis scenario_axis();
 
+/// Axis "arrival" over arrival::labels() — sweep release models
+/// (periodic, jitter, sporadic, Poisson, IPPP, trace replay) like any
+/// other factor.
+Axis arrival_axis();
+
 }  // namespace bas::exp

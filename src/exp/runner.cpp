@@ -26,6 +26,22 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
     throw std::invalid_argument("experiment '" + spec.title +
                                 "': merge mode requires a cache directory");
   }
+  if (options_.compact_cache && options_.cache_dir.empty()) {
+    throw std::invalid_argument("experiment '" + spec.title +
+                                "': cache compaction requires a cache "
+                                "directory");
+  }
+  if (options_.compact_cache && options_.shard) {
+    // Compaction removes every other writer's file; a shard run is by
+    // definition one of several concurrent writers, so the combination
+    // would silently discard the records its siblings are appending.
+    // Compact from the lone coordinating process (--merge or a full
+    // run) after the shards finish.
+    throw std::invalid_argument("experiment '" + spec.title +
+                                "': cache compaction cannot run from a "
+                                "shard (sibling shards may be appending); "
+                                "compact from the merge step instead");
+  }
   if (options_.merge_only && options_.shard) {
     throw std::invalid_argument("experiment '" + spec.title +
                                 "': merge mode is incompatible with a shard");
@@ -37,6 +53,12 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
         "experiment '" + spec.title + "': shard " +
         std::to_string(options_.shard->index) + "/" +
         std::to_string(options_.shard->count) + " needs 0 <= i < n");
+  }
+
+  std::optional<CompactionStats> compaction;
+  if (options_.compact_cache) {
+    compaction = compact_cache(options_.cache_dir, plan.fingerprint(),
+                               spec.metrics.size());
   }
 
   std::optional<ResultCache> cache;
@@ -90,6 +112,13 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
   // ---- execute: pool over pending jobs, cache + progress as we go ----
   std::vector<std::vector<double>> results(n_jobs);
   Progress progress(spec.title, pending.size(), options_.progress);
+  if (compaction) {
+    progress.note("compacted cache '" + options_.cache_dir + "': kept " +
+                  std::to_string(compaction->records_kept) + " of " +
+                  std::to_string(compaction->records_seen) + " records, " +
+                  std::to_string(compaction->files_scanned) + " file(s) -> " +
+                  (compaction->records_kept > 0 ? "1" : "0"));
+  }
   if (!cached.empty()) {
     progress.note(std::to_string(cached.size()) + "/" +
                   std::to_string(n_jobs) + " jobs cached, executing " +
@@ -207,6 +236,7 @@ RunnerOptions options_from_cli(const util::Cli& cli) {
   }
   options.cache_dir = cli.get("cache");
   options.merge_only = cli.get_flag("merge");
+  options.compact_cache = cli.get_flag("cache-compact");
   options.progress = cli.get_flag("progress");
   // Runner::run owns the merge/cache/shard consistency rules.
   return options;

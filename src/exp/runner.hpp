@@ -55,6 +55,13 @@ struct RunnerOptions {
   /// Execute nothing: fold the complete result from the cache alone.
   /// Requires cache_dir; throws when any job is missing.
   bool merge_only = false;
+  /// Before loading the cache, rewrite the directory in place:
+  /// dedupe re-run jobs and drop records whose fingerprint does not
+  /// match this spec (exp::compact_cache). Requires cache_dir, and is
+  /// rejected together with a shard — sibling shard processes may
+  /// still be appending, and compaction removes other writers' files.
+  /// Composes with merging (compact-then-merge) and resuming.
+  bool compact_cache = false;
   /// Report jobs-done/total and ETA to stderr while executing.
   bool progress = false;
 };
@@ -83,7 +90,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
                                 const RunnerOptions& options);
 
 /// Builds RunnerOptions from the shared bench flags (--jobs, --shard,
-/// --cache, --merge, --progress; see util::Cli::with_bench_defaults).
+/// --cache, --cache-compact, --merge, --progress; see
+/// util::Cli::with_bench_defaults).
 /// Throws std::runtime_error on a malformed --shard; cross-option
 /// consistency (--merge needs --cache, ...) is enforced by Runner::run.
 RunnerOptions options_from_cli(const util::Cli& cli);

@@ -1,5 +1,7 @@
 #include "exp/sink.hpp"
 
+#include "util/text.hpp"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -51,11 +53,7 @@ std::vector<double> stat_values(const util::Accumulator& acc) {
 
 }  // namespace
 
-std::string format_double(double value) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
+std::string format_double(double value) { return util::format_g17(value); }
 
 std::string to_csv(const ExperimentResult& result) {
   std::ostringstream out;

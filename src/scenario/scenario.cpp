@@ -6,25 +6,19 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "arrival/arrival.hpp"
 #include "battery/diffusion.hpp"
 #include "battery/ideal.hpp"
 #include "battery/kibam.hpp"
 #include "battery/peukert.hpp"
 #include "battery/stochastic.hpp"
 #include "util/cli.hpp"
+#include "util/text.hpp"
 #include "util/table.hpp"
 
 namespace bas::scenario {
 
 namespace {
-
-std::string joined(const std::vector<std::string>& items) {
-  std::string out;
-  for (const auto& item : items) {
-    out += (out.empty() ? "" : ", ") + item;
-  }
-  return out;
-}
 
 std::string ac_model_to_string(sim::AcModel model) {
   return model == sim::AcModel::kIid ? "iid" : "per-node-mean";
@@ -242,6 +236,90 @@ std::vector<ScenarioSpec> build_registry() {
     s.sim.horizon_s = 48.0 * 3600.0;
     presets.push_back(s);
   }
+  {
+    // True time-varying traffic: an inhomogeneous Poisson release
+    // process whose rate swells sinusoidally ("diurnal" compressed to
+    // 30 min so several cycles fit one battery life) and triples inside
+    // periodic on/off burst windows. Instantaneous demand far exceeds
+    // its mean — the regime the old `bursty` preset only approximated
+    // by composing mismatched periods.
+    ScenarioSpec s = lifetime_base();
+    s.name = "ippp-diurnal";
+    s.summary =
+        "IPPP arrivals: sinusoidal diurnal swell x 3x on/off bursts over "
+        "a 55% mean load";
+    s.workload.graph_count = 4;
+    s.workload.period_lo_s = 0.5;
+    s.workload.period_hi_s = 5.0;
+    s.utilization = 0.55;
+    s.sim.ac_model = sim::AcModel::kIid;
+    s.sim.arrival.model = "ippp";
+    s.sim.arrival.params.rate_scale = 1.0;
+    s.sim.arrival.params.diurnal_amp = 0.5;
+    s.sim.arrival.params.diurnal_period_s = 1800.0;
+    s.sim.arrival.params.burst_factor = 3.0;
+    s.sim.arrival.params.burst_period_s = 300.0;
+    s.sim.arrival.params.burst_duty = 0.2;
+    presets.push_back(s);
+  }
+  {
+    // Event-driven sensing: the sporadic task model (minimum separation
+    // plus an exponential gap) halves the mean arrival rate, so the
+    // diffusion cell's recovery windows are long but irregular.
+    ScenarioSpec s = lifetime_base();
+    s.name = "sporadic-sensor";
+    s.summary =
+        "sporadic sensing: min-separation + exponential gaps on a "
+        "recovery-dominated diffusion cell";
+    s.workload.graph_count = 2;
+    s.workload.min_nodes = 3;
+    s.workload.max_nodes = 6;
+    s.workload.period_lo_s = 2.0;
+    s.workload.period_hi_s = 10.0;
+    s.utilization = 0.3;
+    s.battery = "diffusion";
+    s.sim.ac_model = sim::AcModel::kIid;
+    s.sim.horizon_s = 48.0 * 3600.0;
+    s.sim.arrival.model = "sporadic";
+    s.sim.arrival.params.gap_frac = 1.0;
+    presets.push_back(s);
+  }
+  {
+    // Memoryless traffic across two decades of periods: homogeneous
+    // Poisson releases make back-to-back arrivals routine, so the
+    // feasibility guard and estimator face genuinely random demand.
+    ScenarioSpec s = lifetime_base();
+    s.name = "poisson-mix";
+    s.summary =
+        "Poisson releases: memoryless arrivals across 0.1-10 s nominal "
+        "periods";
+    s.workload.graph_count = 6;
+    s.workload.period_lo_s = 0.1;
+    s.workload.period_hi_s = 10.0;
+    s.utilization = 0.55;
+    s.sim.ac_model = sim::AcModel::kIid;
+    s.sim.arrival.model = "poisson";
+    presets.push_back(s);
+  }
+  {
+    // Trace-driven releases: a hand-written burst pattern (two quick
+    // volleys, then silence) replayed cyclically — the demo for feeding
+    // measured release logs in via --scenario.arrival.trace=@file.csv.
+    ScenarioSpec s = lifetime_base();
+    s.name = "trace-replay";
+    s.summary =
+        "trace-driven bursts: releases replayed from a CSV trace "
+        "(inline demo; @file works too)";
+    s.workload.graph_count = 2;
+    s.workload.period_lo_s = 1.0;
+    s.workload.period_hi_s = 2.0;
+    s.utilization = 0.5;
+    s.sim.ac_model = sim::AcModel::kIid;
+    s.sim.arrival.model = "trace-replay";
+    s.sim.arrival.params.trace = "0;0.15;0.4;3.0;3.2;8.0";
+    s.sim.arrival.params.trace_repeat = true;
+    presets.push_back(s);
+  }
   return presets;
 }
 
@@ -316,7 +394,8 @@ std::string ScenarioSpec::fingerprint() const {
       << " ac-model=" << ac_model_to_string(sim.ac_model)
       << " ac=" << sim.ac_lo_frac << ".." << sim.ac_hi_frac
       << " ac-jitter=" << sim.ac_jitter
-      << " stop-on-empty=" << (sim.stop_when_battery_empty ? 1 : 0);
+      << " stop-on-empty=" << (sim.stop_when_battery_empty ? 1 : 0)
+      << " " << arrival::fingerprint(sim.arrival);
   return out.str();
 }
 
@@ -346,7 +425,7 @@ std::unique_ptr<bat::Battery> make_battery(const std::string& label) {
     return std::make_unique<bat::StochasticBattery>(bat::StochasticParams{});
   }
   throw std::invalid_argument("unknown battery model '" + label +
-                              "' (known: " + joined(battery_labels()) + ")");
+                              "' (known: " + util::join(battery_labels()) + ")");
 }
 
 const std::vector<std::string>& processor_labels() {
@@ -362,7 +441,7 @@ dvs::Processor make_processor(const std::string& label) {
     return dvs::Processor::continuous_ideal(1e9, 5.0);
   }
   throw std::invalid_argument("unknown processor '" + label +
-                              "' (known: " + joined(processor_labels()) + ")");
+                              "' (known: " + util::join(processor_labels()) + ")");
 }
 
 const std::vector<std::string>& scenario_names() {
@@ -383,7 +462,7 @@ const ScenarioSpec& scenario(const std::string& name) {
     }
   }
   throw std::invalid_argument("unknown scenario '" + name +
-                              "' (known: " + joined(scenario_names()) + ")");
+                              "' (known: " + util::join(scenario_names()) + ")");
 }
 
 std::map<std::string, std::string> with_scenario_defaults(
@@ -392,9 +471,18 @@ std::map<std::string, std::string> with_scenario_defaults(
   defaults.emplace("scenario", default_scenario);
   defaults.emplace("list-scenarios", "false");
   static const char* const kOverrideFields[] = {
-      "utilization", "util-basis", "graphs",    "min-nodes",
-      "max-nodes",   "period-lo",  "period-hi", "spread",
-      "battery",     "processor",  "horizon",   "ac-model"};
+      "utilization",           "util-basis",
+      "graphs",                "min-nodes",
+      "max-nodes",             "period-lo",
+      "period-hi",             "spread",
+      "battery",               "processor",
+      "horizon",               "ac-model",
+      "arrival",               "arrival.jitter",
+      "arrival.gap",           "arrival.rate-scale",
+      "arrival.diurnal-amp",   "arrival.diurnal-period",
+      "arrival.burst-factor",  "arrival.burst-period",
+      "arrival.burst-duty",    "arrival.trace",
+      "arrival.trace-repeat"};
   for (const char* field : kOverrideFields) {
     defaults.emplace(std::string("scenario.") + field, "");
   }
@@ -444,6 +532,62 @@ void apply_cli_overrides(ScenarioSpec& spec, const util::Cli& cli) {
   if (const auto v = value("ac-model"); !v.empty()) {
     spec.sim.ac_model = ac_model_from_string(v);
   }
+  bool arrival_touched = false;
+  auto& arr = spec.sim.arrival;
+  if (const auto v = value("arrival"); !v.empty()) {
+    arr.model = v;
+    arrival_touched = true;
+  }
+  if (const auto v = value("arrival.jitter"); !v.empty()) {
+    arr.params.jitter_frac = parse_double("arrival.jitter", v);
+    arrival_touched = true;
+  }
+  if (const auto v = value("arrival.gap"); !v.empty()) {
+    arr.params.gap_frac = parse_double("arrival.gap", v);
+    arrival_touched = true;
+  }
+  if (const auto v = value("arrival.rate-scale"); !v.empty()) {
+    arr.params.rate_scale = parse_double("arrival.rate-scale", v);
+    arrival_touched = true;
+  }
+  if (const auto v = value("arrival.diurnal-amp"); !v.empty()) {
+    arr.params.diurnal_amp = parse_double("arrival.diurnal-amp", v);
+    arrival_touched = true;
+  }
+  if (const auto v = value("arrival.diurnal-period"); !v.empty()) {
+    arr.params.diurnal_period_s = parse_double("arrival.diurnal-period", v);
+    arrival_touched = true;
+  }
+  if (const auto v = value("arrival.burst-factor"); !v.empty()) {
+    arr.params.burst_factor = parse_double("arrival.burst-factor", v);
+    arrival_touched = true;
+  }
+  if (const auto v = value("arrival.burst-period"); !v.empty()) {
+    arr.params.burst_period_s = parse_double("arrival.burst-period", v);
+    arrival_touched = true;
+  }
+  if (const auto v = value("arrival.burst-duty"); !v.empty()) {
+    arr.params.burst_duty = parse_double("arrival.burst-duty", v);
+    arrival_touched = true;
+  }
+  if (const auto v = value("arrival.trace"); !v.empty()) {
+    arr.params.trace = v;
+    arrival_touched = true;
+  }
+  if (const auto v = value("arrival.trace-repeat"); !v.empty()) {
+    if (v != "0" && v != "1" && v != "true" && v != "false") {
+      throw std::invalid_argument(
+          "--scenario.arrival.trace-repeat expects 0/1/true/false, got '" + v +
+          "'");
+    }
+    arr.params.trace_repeat = v == "1" || v == "true";
+    arrival_touched = true;
+  }
+  if (arrival_touched) {
+    // Reject bad labels/params (and unreadable trace files) at parse
+    // time instead of inside a campaign worker thread.
+    arrival::validate(arr);
+  }
 }
 
 ScenarioSpec from_cli(const util::Cli& cli) {
@@ -457,21 +601,25 @@ bool handle_list_request(const util::Cli& cli) {
     return false;
   }
   util::Table table({"scenario", "graphs", "periods (s)", "util", "basis",
-                     "battery", "ac model", "summary"});
+                     "battery", "arrival", "ac model", "summary"});
   for (const auto& name : scenario_names()) {
     const auto& s = scenario(name);
     table.add_row({s.name, std::to_string(s.workload.graph_count),
                    util::Table::num(s.workload.period_lo_s, 2) + ".." +
                        util::Table::num(s.workload.period_hi_s, 2),
                    util::Table::num(s.utilization, 2), to_string(s.basis),
-                   s.battery, ac_model_to_string(s.sim.ac_model), s.summary});
+                   s.battery, s.sim.arrival.model,
+                   ac_model_to_string(s.sim.ac_model), s.summary});
   }
   table.print();
   std::printf(
       "\nOverride any field of the chosen preset with "
       "--scenario.FIELD=VALUE (fields: utilization, util-basis, graphs, "
       "min-nodes, max-nodes, period-lo, period-hi, spread, battery, "
-      "processor, horizon, ac-model).\n");
+      "processor, horizon, ac-model, arrival, arrival.jitter, arrival.gap, "
+      "arrival.rate-scale, arrival.diurnal-amp, arrival.diurnal-period, "
+      "arrival.burst-factor, arrival.burst-period, arrival.burst-duty, "
+      "arrival.trace, arrival.trace-repeat).\n");
   return true;
 }
 

@@ -144,9 +144,13 @@ std::map<std::string, std::string> with_scenario_defaults(
 
 /// Applies the non-empty `--scenario.FIELD` overrides to `spec`:
 ///   utilization, util-basis, graphs, min-nodes, max-nodes, period-lo,
-///   period-hi, spread, battery, processor, horizon, ac-model
+///   period-hi, spread, battery, processor, horizon, ac-model, and the
+///   arrival-process family: arrival (model label), arrival.jitter,
+///   arrival.gap, arrival.rate-scale, arrival.diurnal-amp,
+///   arrival.diurnal-period, arrival.burst-factor, arrival.burst-period,
+///   arrival.burst-duty, arrival.trace, arrival.trace-repeat
 /// Throws std::invalid_argument on an unparsable value or an unknown
-/// battery/processor/basis/AC-model label.
+/// battery/processor/basis/AC-model/arrival label.
 void apply_cli_overrides(ScenarioSpec& spec, const util::Cli& cli);
 
 /// scenario(--scenario) with the --scenario.FIELD overrides applied.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
 #include "dvs/realizer.hpp"
@@ -78,6 +79,9 @@ Simulator::Simulator(const tg::TaskGraphSet& set, const dvs::Processor& proc,
   if (!scheme_.dvs || !scheme_.priority || !scheme_.estimator) {
     throw std::invalid_argument("Simulator: scheme has null components");
   }
+  // Fail on a bad arrival model/params at construction, not mid-run
+  // inside a worker thread.
+  arrival::validate(config_.arrival);
 }
 
 SimResult Simulator::run(bat::Battery* battery) {
@@ -97,10 +101,34 @@ SimResult Simulator::run(bat::Battery* battery) {
   bool battery_dead = false;
   double last_busy_current = kInf;
 
+  // Per-graph release clocks. Each graph gets a fresh ArrivalProcess
+  // bound to its period and a private Rng derived from (config seed,
+  // arrival tag, graph index) — a pure function of the coordinates, so
+  // arrivals are identical across schemes (common random numbers) and
+  // for any thread count under the campaign runner. `next` holds the
+  // one precomputed upcoming release; once it reaches the horizon the
+  // stream is closed (kInf) and never drawn from again, keeping the
+  // draw sequence independent of how the run ends.
+  struct ArrivalRt {
+    std::unique_ptr<arrival::ArrivalProcess> process;
+    util::Rng rng{0};
+    double prev = -1.0;
+    double next = kInf;
+  };
+  std::vector<ArrivalRt> arrivals(static_cast<std::size_t>(n_graphs));
+  for (int g = 0; g < n_graphs; ++g) {
+    auto& ar = arrivals[static_cast<std::size_t>(g)];
+    ar.process = arrival::make(config_.arrival,
+                               set_.graph(static_cast<std::size_t>(g)).period());
+    ar.rng = util::Rng(util::derive_seed(
+        config_.seed, {0x41525256ULL /*'ARRV'*/,
+                       static_cast<std::uint64_t>(g)}));
+    const double first = ar.process->next_release(ar.prev, ar.rng);
+    ar.next = first < config_.horizon_s - kEps ? first : kInf;
+  }
+
   auto next_release_time = [&](int g) -> double {
-    const double when = static_cast<double>(released_count[g]) *
-                        set_.graph(static_cast<std::size_t>(g)).period();
-    return when < config_.horizon_s - kEps ? when : kInf;
+    return arrivals[static_cast<std::size_t>(g)].next;
   };
 
   auto earliest_release = [&]() -> double {
@@ -113,13 +141,19 @@ SimResult Simulator::run(bat::Battery* battery) {
 
   auto release_instance = [&](int g) {
     auto& ir = inst[static_cast<std::size_t>(g)];
+    auto& ar = arrivals[static_cast<std::size_t>(g)];
     const auto& graph = set_.graph(static_cast<std::size_t>(g));
     if (released_count[g] > 0 && !ir.complete()) {
-      ++res.deadline_misses;  // previous instance overran its period
+      ++res.deadline_misses;  // previous instance overran into this release
     }
     ir.number = released_count[g];
-    ir.release_s = static_cast<double>(ir.number) * graph.period();
+    ir.release_s = ar.next;
     ir.deadline_s = ir.release_s + graph.deadline();
+    ar.prev = ar.next;
+    if (ar.next != kInf) {
+      const double upcoming = ar.process->next_release(ar.prev, ar.rng);
+      ar.next = upcoming < config_.horizon_s - kEps ? upcoming : kInf;
+    }
     ir.nodes.assign(graph.node_count(), NodeRt{});
     ir.done_count = 0;
     double total_wc = 0.0;

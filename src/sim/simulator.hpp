@@ -4,7 +4,10 @@
 // inline — the experimental apparatus behind every table and figure.
 //
 // Decision points are exactly the paper's: task-graph releases and node
-// completions. At each one the scheme's DVS policy re-selects fref, the
+// completions. Releases are pulled from a per-graph ArrivalProcess
+// (arrival/arrival.hpp; default "periodic" = the paper's k * period
+// clock, bit-identical), with deadlines release-relative. At each
+// decision point the scheme's DVS policy re-selects fref, the
 // realizer maps it onto the processor's operating points (higher point
 // first within a slot), the ready list is built according to the
 // scheme's scope, candidates are scored by the priority function, and
@@ -19,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "arrival/arrival.hpp"
 #include "battery/model.hpp"
 #include "battery/profile.hpp"
 #include "core/scheme.hpp"
@@ -56,6 +60,14 @@ struct SimConfig {
   /// kPerNodeMean: per-instance jitter added to the node's mean fraction
   /// (result clamped back into [ac_lo_frac, ac_hi_frac]).
   double ac_jitter = 0.1;
+  /// Release model driving every graph's instance arrivals (see
+  /// arrival/arrival.hpp). The default "periodic" reproduces the
+  /// paper's k * period clock bit-identically. Deadlines stay
+  /// release-relative (release + graph deadline) under every model.
+  /// Per-graph arrival streams are seeded via util::derive_seed from
+  /// `seed`, so arrivals are identical across schemes (CRN) and for
+  /// any thread count.
+  arrival::Spec arrival;
   /// Record the full execution trace (for audits and figures).
   bool record_trace = false;
   /// Record the battery-current load profile.
@@ -82,6 +94,14 @@ struct SimResult {
   /// Times the effective frequency rose between consecutive busy slices
   /// within one hyper-release window — a Guideline 1 proxy.
   std::uint64_t frequency_increases = 0;
+  /// Instances that completed after their absolute deadline, plus
+  /// instances superseded while incomplete: graphs are single-buffered
+  /// (one instance in flight), so a new release replaces an unfinished
+  /// predecessor and counts it here. Under periodic arrivals the next
+  /// release IS the deadline, so both notions coincide; under
+  /// jittered/stochastic arrivals an early next release clips the
+  /// window short of the release-relative deadline — the price
+  /// deferred-work schemes (BAS-2) pay on non-periodic traffic.
   std::size_t deadline_misses = 0;
 
   bat::LoadProfile profile;       // when record_profile

@@ -64,6 +64,7 @@ std::map<std::string, std::string> Cli::with_bench_defaults(
   defaults.emplace("csv", "");
   defaults.emplace("shard", "");
   defaults.emplace("cache", "");
+  defaults.emplace("cache-compact", "false");
   defaults.emplace("merge", "false");
   defaults.emplace("progress", "false");
   return defaults;
@@ -140,7 +141,8 @@ std::string Cli::summary() const {
 
 std::string Cli::config_summary() const {
   static const char* const kEngineFlags[] = {
-      "jobs", "csv", "shard", "cache", "merge", "progress", "list-scenarios"};
+      "jobs",     "csv",      "shard",         "cache",
+      "cache-compact", "merge", "progress",    "list-scenarios"};
   std::ostringstream out;
   bool first = true;
   for (const auto& [key, value] : values_) {

@@ -32,6 +32,10 @@ class Cli {
   ///                partition (cluster fan-out; pair with --cache)
   ///   --cache DIR  resume cache: skip jobs already recorded under DIR,
   ///                append fresh results as they finish
+  ///   --cache-compact
+  ///                before loading, rewrite the cache dir in place:
+  ///                dedupe re-run jobs, drop stale-fingerprint records
+  ///                (requires --cache; composes with --merge)
   ///   --merge      fold the complete result from the cache alone
   ///                (combines shard outputs; requires --cache)
   ///   --progress   report jobs-done/total and ETA to stderr

@@ -1,0 +1,21 @@
+#include "util/text.hpp"
+
+#include <cstdio>
+
+namespace bas::util {
+
+std::string join(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& item : items) {
+    out += (out.empty() ? "" : ", ") + item;
+  }
+  return out;
+}
+
+std::string format_g17(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+}  // namespace bas::util

@@ -1,0 +1,23 @@
+#pragma once
+// Small shared text helpers used across layers (arrival, scenario,
+// exp): label-list joining for "unknown X (known: ...)" error messages
+// and the repo's canonical %.17g double rendering. One definition each
+// keeps error-message and serialization formats from drifting between
+// hand-rolled copies.
+
+#include <string>
+#include <vector>
+
+namespace bas::util {
+
+/// ", "-joined items — the error-message idiom for listing valid
+/// registry labels.
+std::string join(const std::vector<std::string>& items);
+
+/// %.17g: the shortest fixed precision that round-trips every finite
+/// double. The canonical rendering for fingerprints and machine
+/// outputs (exp::format_double forwards here; the cache/sink
+/// byte-identity contracts depend on them never diverging).
+std::string format_g17(double value);
+
+}  // namespace bas::util

@@ -13,15 +13,23 @@
 #                    ignores it (fingerprint mismatch) and still equals
 #                    its own fresh run.
 #
-# Usage: shard_merge_smoke.sh /path/to/fig6_ordering_schemes
+# Usage: shard_merge_smoke.sh /path/to/driver [driver flags...]
+# Extra arguments replace the default small-run flags (which fit
+# fig6_ordering_schemes); pass driver-appropriate ones for other
+# binaries, e.g. arrival_stress --sets 2 --scenario.horizon 900.
 
 set -euo pipefail
 
 bin="$1"
+shift
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
 
-small="--sets 2 --max-graphs 4 --horizon 10"
+if [ "$#" -gt 0 ]; then
+  small="$*"
+else
+  small="--sets 2 --max-graphs 4 --horizon 10"
+fi
 
 # 1. Fresh single-process reference, then two shards + merge.
 "$bin" $small --seed 6 --jobs 4 --csv "$work/fresh.csv" > /dev/null

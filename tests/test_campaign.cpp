@@ -238,6 +238,131 @@ TEST(Cache, SeparateWriterTagsSeparateFiles) {
   EXPECT_EQ(s0.load(1).size(), 2u);  // load pools every file in the dir
 }
 
+// ----------------------------------------------------- cache compaction
+
+TEST(Compaction, DedupesReRunJobsAndDropsStaleFingerprints) {
+  TempDir dir("compact");
+  // Two writers of the live fingerprint re-ran job 0 (dupes), a third
+  // file holds a dead campaign's records, and one torn tail.
+  exp::ResultCache w0(dir.path, 0xAAAAULL, "s0of2");
+  exp::ResultCache w1(dir.path, 0xAAAAULL, "s1of2");
+  exp::ResultCache stale(dir.path, 0xBBBBULL, "");
+  w0.append(0, {1.0, 2.0});
+  w0.append(2, {3.0, 4.0});
+  w1.append(0, {1.5, 2.5});  // job 0 re-run by the other shard
+  w1.append(1, {5.0, 6.0});
+  stale.append(0, {9.0, 9.0});
+  stale.append(7, {9.0, 9.0});
+  {
+    std::ofstream torn(w0.write_path(), std::ios::app);
+    torn << "{\"fp\":\"" << exp::fingerprint_hex(0xAAAAULL)
+         << "\",\"job\":3,\"metrics\":";
+  }
+
+  // The invariant: a load() after compaction serves exactly what a
+  // load() before it would have (same last-wins winners).
+  const auto before = exp::ResultCache(dir.path, 0xAAAAULL, "").load(2);
+  const auto stats = exp::compact_cache(dir.path, 0xAAAAULL, 2);
+  const auto after = exp::ResultCache(dir.path, 0xAAAAULL, "").load(2);
+  EXPECT_EQ(before, after);
+  ASSERT_EQ(after.size(), 3u);  // jobs 0, 1, 2 — no stale job 7, no torn 3
+
+  EXPECT_EQ(stats.files_scanned, 3u);
+  EXPECT_EQ(stats.files_removed, 3u);
+  EXPECT_EQ(stats.records_seen, 7u);  // 5 live-fp-file lines + 2 stale
+  EXPECT_EQ(stats.records_kept, 3u);
+
+  // One canonical file remains; the dead campaign's records are gone.
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    ++files;
+    EXPECT_EQ(entry.path().filename().string(),
+              exp::fingerprint_hex(0xAAAAULL) + ".jsonl");
+  }
+  EXPECT_EQ(files, 1u);
+  EXPECT_TRUE(exp::ResultCache(dir.path, 0xBBBBULL, "").load(2).empty());
+}
+
+TEST(Compaction, MissingOrEmptyDirectoryIsANoop) {
+  const auto none =
+      exp::compact_cache("/nonexistent/bas-compact-test", 0x1ULL, 2);
+  EXPECT_EQ(none.files_scanned, 0u);
+  EXPECT_EQ(none.records_kept, 0u);
+
+  TempDir dir("compact-empty");
+  std::filesystem::create_directories(dir.path);
+  exp::ResultCache stale(dir.path, 0xBBBBULL, "");
+  stale.append(0, {1.0});
+  // Nothing matches the live fingerprint: old files are removed and no
+  // compacted file is written.
+  const auto stats = exp::compact_cache(dir.path, 0xAAAAULL, 1);
+  EXPECT_EQ(stats.records_kept, 0u);
+  EXPECT_EQ(stats.files_removed, 1u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir.path));
+}
+
+TEST(Compaction, CompactedCacheRoundTripsThroughMergeBitwise) {
+  TempDir dir("compact-merge");
+  const auto spec = awkward_spec();
+  const auto fresh = exp::run_experiment(spec, 4);
+
+  // Populate via two shards, plus a duplicate re-run of shard 0 under a
+  // different writer tag so the directory really holds re-run jobs.
+  for (int s = 0; s < 2; ++s) {
+    exp::RunnerOptions options;
+    options.jobs = 2;
+    options.shard = exp::Shard{s, 2};
+    options.cache_dir = dir.path;
+    exp::run_experiment(spec, options);
+  }
+  {
+    const exp::Plan plan(spec);
+    exp::ResultCache dupes(dir.path, plan.fingerprint(), "rerun");
+    dupes.append(0, spec.run(plan.job(0)));
+  }
+
+  exp::RunnerOptions merge;
+  merge.merge_only = true;
+  merge.compact_cache = true;
+  merge.cache_dir = dir.path;
+  const auto merged = exp::run_experiment(spec, merge);
+  expect_bitwise_equal(fresh, merged);
+
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(dir.path)) {
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+
+  // A second compact + resume run over the compacted dir still has
+  // every job cached and folds to the same bytes.
+  exp::RunnerOptions resume;
+  resume.jobs = 4;
+  resume.compact_cache = true;
+  resume.cache_dir = dir.path;
+  expect_bitwise_equal(fresh, exp::run_experiment(spec, resume));
+}
+
+TEST(Compaction, WithoutCacheDirIsRejected) {
+  exp::RunnerOptions options;
+  options.compact_cache = true;
+  EXPECT_THROW(exp::run_experiment(awkward_spec(), options),
+               std::invalid_argument);
+}
+
+TEST(Compaction, FromAShardIsRejected) {
+  // A shard is one of several concurrent writers; compacting from it
+  // would delete its siblings' in-flight files.
+  TempDir dir("compact-shard");
+  exp::RunnerOptions options;
+  options.compact_cache = true;
+  options.cache_dir = dir.path;
+  options.shard = exp::Shard{0, 2};
+  EXPECT_THROW(exp::run_experiment(awkward_spec(), options),
+               std::invalid_argument);
+}
+
 // --------------------------------------------- sharded + resumed runs
 
 TEST(Campaign, ShardsMergeBitIdenticalToUnsharded) {
@@ -420,9 +545,10 @@ TEST(Campaign, ArityErrorsCarryCoordinatesToo) {
 // ------------------------------------------------------ CLI threading
 
 TEST(Campaign, OptionsFromCliParseTheCampaignFlags) {
-  const char* argv[] = {"bench",        "--jobs", "3",    "--shard", "1/4",
-                        "--cache",      "/tmp/c", "--progress"};
-  util::Cli cli(8, argv, util::Cli::with_bench_defaults({}));
+  const char* argv[] = {"bench",   "--jobs", "3",          "--shard",
+                        "1/4",     "--cache", "/tmp/c",    "--progress",
+                        "--cache-compact"};
+  util::Cli cli(9, argv, util::Cli::with_bench_defaults({}));
   const auto options = exp::options_from_cli(cli);
   EXPECT_EQ(options.jobs, 3);
   ASSERT_TRUE(options.shard.has_value());
@@ -430,6 +556,7 @@ TEST(Campaign, OptionsFromCliParseTheCampaignFlags) {
   EXPECT_EQ(options.shard->count, 4);
   EXPECT_EQ(options.cache_dir, "/tmp/c");
   EXPECT_FALSE(options.merge_only);
+  EXPECT_TRUE(options.compact_cache);
   EXPECT_TRUE(options.progress);
 }
 
@@ -440,6 +567,7 @@ TEST(Campaign, OptionsFromCliDefaultsAreInert) {
   EXPECT_FALSE(options.shard.has_value());
   EXPECT_TRUE(options.cache_dir.empty());
   EXPECT_FALSE(options.merge_only);
+  EXPECT_FALSE(options.compact_cache);
   EXPECT_FALSE(options.progress);
 }
 
@@ -469,9 +597,10 @@ TEST(Campaign, ConfigEntersTheFingerprint) {
 }
 
 TEST(Campaign, ConfigSummaryExcludesEngineFlags) {
-  const char* argv_a[] = {"bench", "--battery", "kibam", "--jobs", "7",
-                          "--shard", "0/2", "--cache", "dir", "--progress"};
-  util::Cli a(10, argv_a,
+  const char* argv_a[] = {"bench",   "--battery", "kibam", "--jobs",
+                          "7",       "--shard",   "0/2",   "--cache",
+                          "dir",     "--progress", "--cache-compact"};
+  util::Cli a(11, argv_a,
               util::Cli::with_bench_defaults({{"battery", "kibam"}}));
   const char* argv_b[] = {"bench", "--battery", "kibam"};
   util::Cli b(3, argv_b,

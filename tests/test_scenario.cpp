@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "arrival/arrival.hpp"
 #include "exp/factories.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
@@ -36,9 +37,18 @@ TEST(ScenarioRegistry, HasAtLeastEightDistinctPresets) {
             names.size());
   for (const char* required :
        {"paper-table2", "paper-guideline1", "multimedia-pipeline",
-        "sensor-node", "bursty", "overload", "mixed-periods", "idle-heavy"}) {
+        "sensor-node", "bursty", "overload", "mixed-periods", "idle-heavy",
+        "ippp-diurnal", "sporadic-sensor", "poisson-mix", "trace-replay"}) {
     EXPECT_NO_THROW(scenario::scenario(required)) << required;
   }
+  // The arrival-process presets actually carry non-periodic clocks.
+  EXPECT_EQ(scenario::scenario("ippp-diurnal").sim.arrival.model, "ippp");
+  EXPECT_EQ(scenario::scenario("sporadic-sensor").sim.arrival.model,
+            "sporadic");
+  EXPECT_EQ(scenario::scenario("poisson-mix").sim.arrival.model, "poisson");
+  EXPECT_EQ(scenario::scenario("trace-replay").sim.arrival.model,
+            "trace-replay");
+  EXPECT_EQ(scenario::scenario("paper-table2").sim.arrival.model, "periodic");
 }
 
 TEST(ScenarioRegistry, RoundTripsNameAndFingerprint) {
@@ -178,6 +188,58 @@ TEST(ScenarioCli, BadOverridesThrowWithValidChoices) {
   }
 }
 
+TEST(ScenarioCli, ArrivalOverridesSelectModelAndKnobs) {
+  const auto cli = make_cli({"--scenario.arrival=ippp",
+                             "--scenario.arrival.rate-scale=1.5",
+                             "--scenario.arrival.diurnal-amp=0.4",
+                             "--scenario.arrival.burst-factor=2.5",
+                             "--scenario.arrival.burst-period=120",
+                             "--scenario.arrival.burst-duty=0.3"});
+  const auto spec = scenario::from_cli(cli);
+  EXPECT_EQ(spec.sim.arrival.model, "ippp");
+  EXPECT_EQ(spec.sim.arrival.params.rate_scale, 1.5);
+  EXPECT_EQ(spec.sim.arrival.params.diurnal_amp, 0.4);
+  EXPECT_EQ(spec.sim.arrival.params.burst_factor, 2.5);
+  EXPECT_EQ(spec.sim.arrival.params.burst_period_s, 120.0);
+  EXPECT_EQ(spec.sim.arrival.params.burst_duty, 0.3);
+  // The arrival choice enters the scenario fingerprint (cache key).
+  EXPECT_NE(spec.fingerprint().find("arrival=ippp"), std::string::npos);
+  EXPECT_NE(spec.fingerprint(),
+            scenario::from_cli(make_cli({})).fingerprint());
+
+  const auto jitter = scenario::from_cli(
+      make_cli({"--scenario.arrival=periodic-jitter",
+                "--scenario.arrival.jitter=0.6"}));
+  EXPECT_EQ(jitter.sim.arrival.params.jitter_frac, 0.6);
+  const auto trace = scenario::from_cli(
+      make_cli({"--scenario.arrival=trace-replay",
+                "--scenario.arrival.trace=0;1;2",
+                "--scenario.arrival.trace-repeat=false"}));
+  EXPECT_EQ(trace.sim.arrival.params.trace, "0;1;2");
+  EXPECT_FALSE(trace.sim.arrival.params.trace_repeat);
+}
+
+TEST(ScenarioCli, BadArrivalOverridesThrowEagerly) {
+  try {
+    scenario::from_cli(make_cli({"--scenario.arrival=burst-o-matic"}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ippp"), std::string::npos);
+  }
+  // A bad knob for the chosen model fails at CLI-parse time, not inside
+  // a campaign worker.
+  EXPECT_THROW(
+      scenario::from_cli(make_cli({"--scenario.arrival=periodic-jitter",
+                                   "--scenario.arrival.jitter=1.5"})),
+      std::invalid_argument);
+  EXPECT_THROW(
+      scenario::from_cli(make_cli({"--scenario.arrival=trace-replay"})),
+      std::invalid_argument);  // no trace supplied
+  EXPECT_THROW(scenario::from_cli(
+                   make_cli({"--scenario.arrival.trace-repeat=maybe"})),
+               std::invalid_argument);
+}
+
 TEST(ScenarioCli, ListRequestFlag) {
   EXPECT_FALSE(scenario::handle_list_request(make_cli({})));
   EXPECT_TRUE(scenario::handle_list_request(make_cli({"--list-scenarios"})));
@@ -198,6 +260,10 @@ TEST(ScenarioFactories, ExpForwardsToTheScenarioRegistry) {
   const auto axis = exp::scenario_axis();
   EXPECT_EQ(axis.name, "scenario");
   EXPECT_EQ(axis.labels, scenario::scenario_names());
+
+  const auto arrivals = exp::arrival_axis();
+  EXPECT_EQ(arrivals.name, "arrival");
+  EXPECT_EQ(arrivals.labels, arrival::labels());
 }
 
 }  // namespace
