@@ -1,0 +1,383 @@
+// Hot-path performance benchmark: steps/sec, battery draws/sec and
+// end-to-end sims/sec per (scheme x scenario x battery) cell, plus the
+// tracked-baseline regression gate the perf-smoke CI job runs.
+//
+// Timing wraps sim::simulate_scheme only — workload generation and
+// result folding stay outside the clock — and every run flips
+// SimConfig::record_perf_counters so the rates are normalized by the
+// *work actually performed* (scheduling steps, Battery::draw calls),
+// not by wall time alone. Workload seeds depend only on (--seed, rep),
+// so every cell of one rep times the same task-graph sets (CRN for
+// perf: a cell ratio is a code ratio, not a workload ratio).
+//
+// Outputs BENCH_perf.json (schema documented in EXPERIMENTS.md,
+// "Performance"). The numbers are machine-dependent wall-clock rates —
+// they are NOT covered by the byte-identity contract and never feed a
+// resume cache; the counters underneath them are deterministic.
+//
+//   ./perf_hotpath --smoke                  # CI-sized cells, ~seconds
+//   ./perf_hotpath --full                   # all schemes x batteries
+//   ./perf_hotpath --smoke --baseline ../bench/perf_baseline.json
+//   ./perf_hotpath --smoke --write-baseline perf_baseline.json
+//
+// With --baseline, the run fails (exit 1) when any matching cell's
+// steps/sec falls more than --max-regress (default 0.30) below the
+// baseline file's figure. Regenerate the checked-in baseline with
+// --write-baseline on a quiet machine after an intentional perf change.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "exp/factories.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace bas;
+
+struct Cell {
+  std::string scenario;
+  std::string scheme;
+  std::string battery;
+};
+
+struct CellResult {
+  Cell cell;
+  std::uint64_t sims = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t battery_draws = 0;
+  std::uint64_t candidates_scored = 0;
+  std::uint64_t scratch_grows = 0;
+  double elapsed_s = 0.0;
+
+  double per_sec(double count) const {
+    return elapsed_s > 0.0 ? count / elapsed_s : 0.0;
+  }
+  double steps_per_sec() const {
+    return per_sec(static_cast<double>(steps));
+  }
+  double draws_per_sec() const {
+    return per_sec(static_cast<double>(battery_draws));
+  }
+  double sims_per_sec() const {
+    return per_sec(static_cast<double>(sims));
+  }
+};
+
+std::string fmt_rate(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", v);
+  return buffer;
+}
+
+std::size_t scheme_index(const std::string& label) {
+  const auto& labels = exp::scheme_labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) {
+      return i;
+    }
+  }
+  throw std::runtime_error("unknown scheme label '" + label + "'");
+}
+
+CellResult time_cell(const Cell& cell, int sets, std::uint64_t seed) {
+  const auto& scn = scenario::scenario(cell.scenario);
+  const auto proc = scn.make_processor();
+  const auto kind = exp::scheme_kind_at(scheme_index(cell.scheme));
+
+  CellResult out;
+  out.cell = cell;
+  for (int rep = 0; rep < sets; ++rep) {
+    // Same seeding contract as the campaign drivers: the workload and
+    // sim seeds depend only on the replicate, never on the cell.
+    const std::uint64_t rep_seed =
+        util::Rng::hash_combine(seed, static_cast<std::uint64_t>(rep));
+    util::Rng rng(rep_seed);
+    const auto set = scn.make_workload(rng);
+    auto config = scn.sim_config(util::Rng::hash_combine(rep_seed, 1000u));
+    config.record_perf_counters = true;
+    const auto battery = exp::make_battery(cell.battery);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = sim::simulate_scheme(set, proc, kind, config,
+                                        battery.get());
+    const auto t1 = std::chrono::steady_clock::now();
+
+    out.elapsed_s += std::chrono::duration<double>(t1 - t0).count();
+    ++out.sims;
+    out.steps += r.perf.steps;
+    out.battery_draws += r.perf.battery_draws;
+    out.candidates_scored += r.perf.candidates_scored;
+    out.scratch_grows += r.perf.scratch_grows;
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<CellResult>& results,
+                    const std::string& mode, int sets, std::uint64_t seed) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"bas-perf/1\",\n";
+  out << "  \"mode\": \"" << mode << "\",\n";
+  out << "  \"sets\": " << sets << ",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"scenario\": \"%s\", \"scheme\": \"%s\", \"battery\": "
+        "\"%s\", \"sims\": %llu, \"steps\": %llu, \"battery_draws\": %llu, "
+        "\"candidates_scored\": %llu, \"scratch_grows\": %llu, "
+        "\"elapsed_s\": %.6g, \"steps_per_sec\": %.6g, "
+        "\"draws_per_sec\": %.6g, \"sims_per_sec\": %.6g}%s\n",
+        r.cell.scenario.c_str(), r.cell.scheme.c_str(),
+        r.cell.battery.c_str(), static_cast<unsigned long long>(r.sims),
+        static_cast<unsigned long long>(r.steps),
+        static_cast<unsigned long long>(r.battery_draws),
+        static_cast<unsigned long long>(r.candidates_scored),
+        static_cast<unsigned long long>(r.scratch_grows), r.elapsed_s,
+        r.steps_per_sec(), r.draws_per_sec(), r.sims_per_sec(),
+        i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Baseline file handling. The parser mirrors the defensive style of the
+// campaign cache: anything it cannot read is simply not a cell, so a
+// hand-edited or truncated baseline degrades to "no gate", not a crash.
+
+struct BaselineCell {
+  Cell cell;
+  double steps_per_sec = 0.0;
+  double steps = 0.0;  // deterministic work count; 0 when absent
+};
+
+bool extract_string(const std::string& chunk, const std::string& key,
+                    std::string* value) {
+  const std::string needle = "\"" + key + "\": \"";
+  const auto at = chunk.find(needle);
+  if (at == std::string::npos) {
+    return false;
+  }
+  const auto start = at + needle.size();
+  const auto end = chunk.find('"', start);
+  if (end == std::string::npos) {
+    return false;
+  }
+  *value = chunk.substr(start, end - start);
+  return true;
+}
+
+bool extract_number(const std::string& chunk, const std::string& key,
+                    double* value) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto at = chunk.find(needle);
+  if (at == std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  const char* cursor = chunk.c_str() + at + needle.size();
+  const double parsed = std::strtod(cursor, &end);
+  if (end == cursor) {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+std::vector<BaselineCell> load_baseline(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot open baseline file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+
+  std::vector<BaselineCell> cells;
+  std::size_t at = 0;
+  while ((at = text.find('{', at + 1)) != std::string::npos) {
+    const auto end = text.find('}', at);
+    if (end == std::string::npos) {
+      break;
+    }
+    const std::string chunk = text.substr(at, end - at);
+    BaselineCell cell;
+    if (extract_string(chunk, "scenario", &cell.cell.scenario) &&
+        extract_string(chunk, "scheme", &cell.cell.scheme) &&
+        extract_string(chunk, "battery", &cell.cell.battery) &&
+        extract_number(chunk, "steps_per_sec", &cell.steps_per_sec)) {
+      // The `": "`-anchored needle cannot match "steps_per_sec".
+      extract_number(chunk, "steps", &cell.steps);  // optional
+      cells.push_back(std::move(cell));
+    }
+    at = end;
+  }
+  return cells;
+}
+
+/// Returns the number of failed cells (0 = gate passed). Zero matched
+/// cells counts as a failure: an explicitly requested gate that cannot
+/// find its baseline (unreadable file, reformatted JSON, renamed
+/// cells) must not silently pass.
+int check_against_baseline(const std::vector<CellResult>& results,
+                           const std::vector<BaselineCell>& baseline,
+                           double max_regress) {
+  int regressions = 0;
+  int matched = 0;
+  for (const auto& r : results) {
+    for (const auto& b : baseline) {
+      if (b.cell.scenario != r.cell.scenario ||
+          b.cell.scheme != r.cell.scheme ||
+          b.cell.battery != r.cell.battery || !(b.steps_per_sec > 0.0)) {
+        continue;
+      }
+      ++matched;
+      const double ratio = r.steps_per_sec() / b.steps_per_sec;
+      const bool regressed = ratio < 1.0 - max_regress;
+      if (regressed) {
+        ++regressions;
+      }
+      std::printf("baseline %-14s x %-6s x %-10s %10s vs %10s steps/s "
+                  "(%.2fx)%s\n",
+                  r.cell.scenario.c_str(), r.cell.scheme.c_str(),
+                  r.cell.battery.c_str(), fmt_rate(r.steps_per_sec()).c_str(),
+                  fmt_rate(b.steps_per_sec).c_str(), ratio,
+                  regressed ? "  <-- REGRESSION" : "");
+      if (b.steps > 0.0 &&
+          b.steps != static_cast<double>(r.steps)) {
+        // The counters are bit-deterministic for a given (seed, sets):
+        // a mismatch means behaviour changed since the baseline was
+        // recorded, so the rate comparison is apples to oranges.
+        std::printf("  note: step count %llu differs from baseline %.0f — "
+                    "behaviour changed; regenerate the baseline\n",
+                    static_cast<unsigned long long>(r.steps), b.steps);
+      }
+      break;
+    }
+  }
+  if (matched == 0) {
+    std::printf("baseline: no cells matched — failing (regenerate the "
+                "baseline with --write-baseline, or fix the file)\n");
+    return 1;
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bas;
+  try {
+    util::Cli cli(argc, argv,
+                  {{"smoke", "false"},
+                   {"full", "false"},
+                   {"sets", "3"},
+                   {"seed", "1234"},
+                   {"json", "BENCH_perf.json"},
+                   {"baseline", ""},
+                   {"max-regress", "0.30"},
+                   {"write-baseline", ""}});
+
+    std::vector<std::string> scenarios{"paper-table2", "ippp-diurnal"};
+    std::vector<std::string> schemes{"EDF", "laEDF", "BAS-2"};
+    std::vector<std::string> batteries{"kibam", "diffusion"};
+    int sets = static_cast<int>(cli.get_int("sets"));
+    std::string mode = "default";
+    if (cli.get_flag("smoke")) {
+      mode = "smoke";
+      scenarios = {"paper-table2"};
+      sets = std::min(sets, 2);
+    } else if (cli.get_flag("full")) {
+      mode = "full";
+      scenarios = {"paper-table2", "ippp-diurnal", "overload"};
+      schemes = exp::scheme_labels();
+      batteries = exp::battery_labels();
+    }
+    const std::uint64_t seed = cli.get_u64("seed");
+
+    util::print_banner("Hot-path perf: steps/sec, draws/sec, sims/sec");
+    std::printf("config: %s\nmode: %s, %d set(s) per cell\n\n",
+                cli.summary().c_str(), mode.c_str(), sets);
+
+    std::vector<CellResult> results;
+    for (const auto& scenario : scenarios) {
+      for (const auto& battery : batteries) {
+        for (const auto& scheme : schemes) {
+          results.push_back(time_cell({scenario, scheme, battery}, sets,
+                                      seed));
+        }
+      }
+    }
+
+    util::Table table({"scenario", "scheme", "battery", "sims", "steps",
+                       "steps/s", "draws/s", "sims/s", "scored/step",
+                       "grows"});
+    for (const auto& r : results) {
+      table.add_row(
+          {r.cell.scenario, r.cell.scheme, r.cell.battery,
+           util::Table::num(static_cast<long long>(r.sims)),
+           util::Table::num(static_cast<long long>(r.steps)),
+           fmt_rate(r.steps_per_sec()), fmt_rate(r.draws_per_sec()),
+           fmt_rate(r.sims_per_sec()),
+           util::Table::num(r.steps > 0
+                                ? static_cast<double>(r.candidates_scored) /
+                                      static_cast<double>(r.steps)
+                                : 0.0,
+                            2),
+           util::Table::num(static_cast<long long>(r.scratch_grows))});
+    }
+    table.print();
+
+    const std::string json =
+        to_json(results, mode, sets, seed);
+    if (const auto path = cli.get("json"); !path.empty()) {
+      std::ofstream out(path);
+      if (!out) {
+        throw std::runtime_error("cannot open '" + path + "' for writing");
+      }
+      out << json;
+      std::printf("\nwrote %s\n", path.c_str());
+    }
+    if (const auto path = cli.get("write-baseline"); !path.empty()) {
+      std::ofstream out(path);
+      if (!out) {
+        throw std::runtime_error("cannot open '" + path + "' for writing");
+      }
+      out << json;
+      std::printf("wrote baseline %s\n", path.c_str());
+    }
+
+    if (const auto path = cli.get("baseline"); !path.empty()) {
+      const double max_regress = cli.get_double("max-regress");
+      std::printf("\n");
+      const int failures =
+          check_against_baseline(results, load_baseline(path), max_regress);
+      if (failures > 0) {
+        std::printf("baseline gate failed (%d failing check(s), threshold "
+                    "%.0f%%)\n",
+                    failures, 100.0 * max_regress);
+        return 1;
+      }
+      std::printf("baseline gate passed (max regression %.0f%%)\n",
+                  100.0 * max_regress);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_hotpath: %s\n", e.what());
+    return 2;
+  }
+}

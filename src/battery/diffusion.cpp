@@ -18,7 +18,16 @@ DiffusionBattery::DiffusionBattery(DiffusionParams params) : params_(params) {
       params_.series_terms < 1) {
     throw std::invalid_argument("DiffusionBattery: bad parameters");
   }
-  s_m_.assign(static_cast<std::size_t>(params_.series_terms), 0.0);
+  const auto terms = static_cast<std::size_t>(params_.series_terms);
+  rates_.resize(terms);
+  for (int m = 1; m <= params_.series_terms; ++m) {
+    // Same expression the per-call formulas evaluated, so the table
+    // holds bit-identical values.
+    rates_[static_cast<std::size_t>(m - 1)] = params_.beta_squared * m * m;
+  }
+  decay_.assign(terms, 0.0);
+  gain_.assign(terms, 0.0);
+  s_m_.assign(terms, 0.0);
 }
 
 bool DiffusionBattery::empty() const { return dead_; }
@@ -44,24 +53,51 @@ std::unique_ptr<Battery> DiffusionBattery::fresh_clone() const {
   return std::make_unique<DiffusionBattery>(params_);
 }
 
+void DiffusionBattery::fill_decay(double t) const {
+  if (t == decay_t_) {
+    return;
+  }
+  const std::size_t terms = rates_.size();
+  for (std::size_t i = 0; i < terms; ++i) {
+    decay_[i] = std::exp(-rates_[i] * t);
+  }
+  decay_t_ = t;
+}
+
+void DiffusionBattery::fill_terms(double current_a, double t) const {
+  fill_decay(t);
+  if (t == gain_t_ && current_a == gain_current_a_) {
+    return;
+  }
+  const std::size_t terms = rates_.size();
+  for (std::size_t i = 0; i < terms; ++i) {
+    // The exact forcing subexpression of the original formulas:
+    // (current · (1 − decay)) / rate, association preserved.
+    gain_[i] = current_a * (1.0 - decay_[i]) / rates_[i];
+  }
+  gain_t_ = t;
+  gain_current_a_ = current_a;
+}
+
 double DiffusionBattery::sigma_after(double current_a, double t) const {
+  fill_terms(current_a, t);
   double sigma = drawn_c_ + current_a * t;
-  for (int m = 1; m <= params_.series_terms; ++m) {
-    const double rate = params_.beta_squared * m * m;
-    const double decay = std::exp(-rate * t);
-    const double s_prev = s_m_[static_cast<std::size_t>(m - 1)];
-    sigma += 2.0 * (s_prev * decay + current_a * (1.0 - decay) / rate);
+  const std::size_t terms = rates_.size();
+  for (std::size_t i = 0; i < terms; ++i) {
+    const double decay = decay_[i];
+    const double s_prev = s_m_[i];
+    sigma += 2.0 * (s_prev * decay + gain_[i]);
   }
   return sigma;
 }
 
 void DiffusionBattery::advance(double current_a, double t) {
+  fill_terms(current_a, t);
   drawn_c_ += current_a * t;
-  for (int m = 1; m <= params_.series_terms; ++m) {
-    const double rate = params_.beta_squared * m * m;
-    const double decay = std::exp(-rate * t);
-    auto& s = s_m_[static_cast<std::size_t>(m - 1)];
-    s = s * decay + current_a * (1.0 - decay) / rate;
+  const std::size_t terms = rates_.size();
+  for (std::size_t i = 0; i < terms; ++i) {
+    auto& s = s_m_[i];
+    s = s * decay_[i] + gain_[i];
   }
 }
 

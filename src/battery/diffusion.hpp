@@ -61,7 +61,34 @@ class DiffusionBattery final : public Battery {
   double sigma_after(double current_a, double t) const;
   void advance(double current_a, double t);
 
+  /// Fills decay_[m-1] = e^{-β²m²t} for the given t, reusing the buffer
+  /// when t matches the previous call. The factors depend on t alone —
+  /// not on the cell state or current — so the cache stays valid across
+  /// advance() and reset(). This is what lets the common draw path
+  /// (sigma_after + advance at the same t) and the repeated-t probes of
+  /// the cutoff bisection evaluate the series with one exp sweep
+  /// instead of two.
+  void fill_decay(double t) const;
+
+  /// fill_decay(t) plus gain_[m-1] = I·(1−e^{-rate·t})/rate — the
+  /// forcing term both sigma_after and advance evaluate. Keyed on
+  /// (t, current): the common draw path computes it once and the
+  /// advance() that commits the same interval reads it back.
+  void fill_terms(double current_a, double t) const;
+
   DiffusionParams params_;
+  /// Per-term diffusion rates β²m², m = 1..series_terms, precomputed in
+  /// the constructor with the same expression the per-call formula used
+  /// (bit-identical values; see tests/test_battery.cpp). A 1/rate table
+  /// was considered and rejected: multiplying by a precomputed
+  /// reciprocal is not an exact transformation of the `/ rate` the
+  /// formulas specify, and the byte-identity contract forbids it.
+  std::vector<double> rates_;
+  mutable std::vector<double> decay_;  // e^{-rate·t} for decay_t_
+  mutable double decay_t_ = -1.0;      // t the decay_ buffer is valid for
+  mutable std::vector<double> gain_;   // I·(1−decay)/rate for the key below
+  mutable double gain_t_ = -1.0;       // (t, I) the gain_ buffer is valid for
+  mutable double gain_current_a_ = 0.0;
   std::vector<double> s_m_;   // per-term transient state
   double drawn_c_ = 0.0;      // ∫ i dτ
   bool dead_ = false;

@@ -50,10 +50,23 @@ double KibamBattery::y2_after(double current_a, double t) const {
          current_a * (1.0 - c) * (k * t - 1.0 + e) / k;
 }
 
+void KibamBattery::wells_after(double current_a, double t, double* y1_out,
+                               double* y2_out) const {
+  const double k = params_.k_rate;
+  const double c = params_.c_fraction;
+  const double y0 = y1_ + y2_;
+  const double e = std::exp(-k * t);
+  *y1_out = y1_ * e + (y0 * k * c - current_a) * (1.0 - e) / k -
+            current_a * c * (k * t - 1.0 + e) / k;
+  *y2_out = y2_ * e + y0 * (1.0 - c) * (1.0 - e) -
+            current_a * (1.0 - c) * (k * t - 1.0 + e) / k;
+}
+
 double KibamBattery::do_draw(double current_a, double dt_s) {
-  const double y1_end = y1_after(current_a, dt_s);
+  double y1_end = 0.0;
+  double y2_end = 0.0;
+  wells_after(current_a, dt_s, &y1_end, &y2_end);
   if (y1_end > 0.0) {
-    const double y2_end = y2_after(current_a, dt_s);
     y1_ = y1_end;
     y2_ = std::max(0.0, y2_end);
     return dt_s;

@@ -10,6 +10,7 @@ PeukertBattery::PeukertBattery(PeukertParams params) : params_(params) {
       !(params_.reference_current_a > 0.0)) {
     throw std::invalid_argument("PeukertBattery: bad parameters");
   }
+  exponent_minus_one_ = params_.exponent - 1.0;
 }
 
 bool PeukertBattery::empty() const {
@@ -29,10 +30,19 @@ double PeukertBattery::do_draw(double current_a, double dt_s) {
     return dt_s;  // Peukert has no recovery; idling is simply free
   }
   // Effective drain rate (C/s), >= the physical current for I > Iref.
-  const double ratio =
-      std::max(1.0, current_a / params_.reference_current_a);
-  const double rate =
-      current_a * std::pow(ratio, params_.exponent - 1.0);
+  double rate;
+  if (current_a == last_current_a_) {
+    rate = last_rate_;
+  } else {
+    const double ratio =
+        std::max(1.0, current_a / params_.reference_current_a);
+    // pow(1, y) is exactly 1 (IEC 60559), so sub-reference currents can
+    // skip the call without perturbing a bit.
+    rate = ratio == 1.0 ? current_a
+                        : current_a * std::pow(ratio, exponent_minus_one_);
+    last_current_a_ = current_a;
+    last_rate_ = rate;
+  }
   const double head_room = params_.capacity_c - consumed_c_;
   if (rate * dt_s <= head_room) {
     consumed_c_ += rate * dt_s;

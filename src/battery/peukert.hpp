@@ -39,6 +39,14 @@ class PeukertBattery final : public Battery {
 
  private:
   PeukertParams params_;
+  double exponent_minus_one_ = 0.0;  // hoisted from the per-draw pow
+  /// Memo of the last (current -> effective drain rate) pair: the
+  /// simulator's piecewise-constant profiles repeat the same few
+  /// operating-point currents, so most draws skip the pow entirely.
+  /// The rate is a pure function of the current and the (fixed)
+  /// params, so the memo stays exact across draws and resets.
+  double last_current_a_ = -1.0;
+  double last_rate_ = 0.0;
   double consumed_c_ = 0.0;  // Peukert-weighted charge
 };
 

@@ -6,21 +6,6 @@
 
 namespace bas::bat {
 
-void LoadProfile::add(double duration_s, double current_a) {
-  if (duration_s < 0.0 || current_a < 0.0) {
-    throw std::invalid_argument("LoadProfile::add: negative value");
-  }
-  if (duration_s == 0.0) {
-    return;
-  }
-  if (!segments_.empty() &&
-      std::abs(segments_.back().current_a - current_a) <= 1e-12) {
-    segments_.back().duration_s += duration_s;
-    return;
-  }
-  segments_.push_back(Segment{duration_s, current_a});
-}
-
 double LoadProfile::duration_s() const noexcept {
   double t = 0.0;
   for (const auto& s : segments_) {

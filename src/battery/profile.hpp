@@ -5,6 +5,8 @@
 // The shape of this profile — not just its integral — determines how
 // much charge a real battery delivers, which is the paper's core point.
 
+#include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "battery/model.hpp"
@@ -22,8 +24,26 @@ class LoadProfile {
 
   /// Appends a segment; zero-duration segments are dropped, and a
   /// segment equal in current to the previous one (within 1e-12 A) is
-  /// merged into it.
-  void add(double duration_s, double current_a);
+  /// merged into it. Defined inline: the simulator calls this on every
+  /// battery draw, and the merge path is a two-branch append.
+  void add(double duration_s, double current_a) {
+    if (duration_s < 0.0 || current_a < 0.0) {
+      throw std::invalid_argument("LoadProfile::add: negative value");
+    }
+    if (duration_s == 0.0) {
+      return;
+    }
+    if (!segments_.empty() &&
+        std::abs(segments_.back().current_a - current_a) <= 1e-12) {
+      segments_.back().duration_s += duration_s;
+      return;
+    }
+    segments_.push_back(Segment{duration_s, current_a});
+  }
+
+  /// Pre-allocates room for `segments` entries (the simulator reserves
+  /// ahead of a run so steady-state add() calls never reallocate).
+  void reserve(std::size_t segments) { segments_.reserve(segments); }
 
   const std::vector<Segment>& segments() const noexcept { return segments_; }
   bool empty() const noexcept { return segments_.empty(); }

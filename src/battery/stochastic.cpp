@@ -16,6 +16,9 @@ StochasticBattery::StochasticBattery(StochasticParams params)
       params_.kinetics.c_fraction >= 1.0 || !(params_.kinetics.k_rate > 0.0)) {
     throw std::invalid_argument("StochasticBattery: bad kinetic parameters");
   }
+  const double c = params_.kinetics.c_fraction;
+  one_minus_c_ = 1.0 - c;
+  flow_coeff_ = params_.kinetics.k_rate * c * (1.0 - c);
   do_reset();
 }
 
@@ -31,16 +34,16 @@ std::unique_ptr<Battery> StochasticBattery::fresh_clone() const {
 
 double StochasticBattery::step_slot(double current_a, double dt) {
   const double c = params_.kinetics.c_fraction;
-  const double k = params_.kinetics.k_rate;
 
   // Kinetic drift between the wells for this slot, realized as an
   // integral number of quanta plus a Bernoulli fractional quantum so
   // that E[moved] matches KibamBattery's flow. The closed form's rate
   // constant k' relates to the height-difference flow by a c(1-c)
-  // factor: dy1/dt = -I + k' * c * (1-c) * (h2 - h1).
+  // factor: dy1/dt = -I + k' * c * (1-c) * (h2 - h1), with the
+  // k'·c·(1-c) product hoisted to the constructor.
   const double h1 = y1_ / c;
-  const double h2 = y2_ / (1.0 - c);
-  const double expected_transfer_c = k * c * (1.0 - c) * (h2 - h1) * dt;
+  const double h2 = y2_ / one_minus_c_;
+  const double expected_transfer_c = flow_coeff_ * (h2 - h1) * dt;
   double transfer_c = 0.0;
   if (expected_transfer_c > 0.0) {
     const double quanta = expected_transfer_c / params_.quantum_c;

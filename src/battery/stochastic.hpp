@@ -57,6 +57,10 @@ class StochasticBattery final : public Battery {
 
   StochasticParams params_;
   util::Rng rng_;
+  /// k·c·(1−c), hoisted from the per-slot transfer expression with the
+  /// same association the formula used (bit-identical values).
+  double flow_coeff_ = 0.0;
+  double one_minus_c_ = 0.0;  // 1 − c, for the bound-well height
   double y1_ = 0.0;
   double y2_ = 0.0;
   bool dead_ = false;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "dvs/policy.hpp"
+#include "util/sort.hpp"
 
 namespace bas::dvs {
 
@@ -83,11 +84,32 @@ class LaEdf final : public DvsPolicy {
 
   double select(std::span<const GraphStatus> graphs, double now) override {
     constexpr double kEps = 1e-12;
-    std::vector<const GraphStatus*> active;
+    // Reused across calls: select() runs at every decision point, so a
+    // per-call vector would be the policy's only steady-state
+    // allocation (the order is rebuilt from scratch each call).
+    std::vector<const GraphStatus*>& active = active_;
+    active.clear();
     active.reserve(graphs.size());
+    if (static_util_.size() < graphs.size()) {
+      static_util_.resize(graphs.size());
+    }
     double total_util = 0.0;
     for (const auto& g : graphs) {
-      total_util += g.wc_total_cycles / (fmax_hz_ * g.period_s);
+      // wc_total / (fmax * period) is static per graph; memoize the
+      // division, keyed on its exact operands, so the per-step loop
+      // reads back the identical quotient instead of re-dividing.
+      const auto slot = static_cast<std::size_t>(g.graph);
+      if (slot >= static_util_.size()) {
+        static_util_.resize(slot + 1);
+      }
+      auto& su = static_util_[slot];
+      if (su.wc_total_cycles != g.wc_total_cycles ||
+          su.period_s != g.period_s) {
+        su.wc_total_cycles = g.wc_total_cycles;
+        su.period_s = g.period_s;
+        su.util = g.wc_total_cycles / (fmax_hz_ * g.period_s);
+      }
+      total_util += su.util;
       if (g.remaining_wc_cycles > kEps) {
         active.push_back(&g);
       }
@@ -95,13 +117,15 @@ class LaEdf final : public DvsPolicy {
     if (active.empty()) {
       return 0.0;
     }
-    std::sort(active.begin(), active.end(),
-              [](const GraphStatus* a, const GraphStatus* b) {
-                if (a->abs_deadline_s != b->abs_deadline_s) {
-                  return a->abs_deadline_s > b->abs_deadline_s;  // latest 1st
-                }
-                return a->graph > b->graph;
-              });
+    // (deadline desc, graph desc) is a strict total order, the
+    // contract util::insertion_sort's output-identity argument needs.
+    util::insertion_sort(active, [](const GraphStatus* a,
+                                    const GraphStatus* b) {
+      if (a->abs_deadline_s != b->abs_deadline_s) {
+        return a->abs_deadline_s > b->abs_deadline_s;  // latest 1st
+      }
+      return a->graph > b->graph;
+    });
     const double dn = active.back()->abs_deadline_s;
     if (dn - now <= kEps) {
       return fmax_hz_;  // at/past the earliest deadline: flat out
@@ -109,7 +133,7 @@ class LaEdf final : public DvsPolicy {
     double u = total_util;
     double must_run_cycles = 0.0;
     for (const GraphStatus* g : active) {
-      u -= g->wc_total_cycles / (fmax_hz_ * g->period_s);
+      u -= static_util_[static_cast<std::size_t>(g->graph)].util;
       const double horizon_s = g->abs_deadline_s - dn;
       // Cycles of this instance that cannot be deferred past dn: its
       // remaining work minus what the spare bandwidth (1 - u) * fmax can
@@ -126,7 +150,15 @@ class LaEdf final : public DvsPolicy {
   }
 
  private:
+  struct StaticUtil {
+    double wc_total_cycles = -1.0;  // impossible key: cold entries miss
+    double period_s = 0.0;
+    double util = 0.0;
+  };
+
   double fmax_hz_;
+  std::vector<const GraphStatus*> active_;
+  std::vector<StaticUtil> static_util_;
 };
 
 }  // namespace

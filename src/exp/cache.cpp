@@ -138,10 +138,15 @@ void ResultCache::append(std::size_t job_index,
                                "' for appending");
     }
     if (needs_newline) {
-      out_ << '\n';
+      out_.put('\n');
     }
   }
-  out_ << line << std::flush;
+  // One buffered write + one flush per job: the record was formatted
+  // into a single string above, so the per-field `<<` formatting all
+  // happened off the stream, and the durability contract (a completed
+  // job's line survives a kill) costs exactly one flush.
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.flush();
 }
 
 CompactionStats compact_cache(const std::string& dir,
@@ -198,9 +203,11 @@ CompactionStats compact_cache(const std::string& dir,
       throw std::runtime_error("cannot write compacted cache file '" + tmp +
                                "'");
     }
+    std::string records;
     for (const auto& [job_index, metrics] : kept) {
-      out << format_record(fp_hex, job_index, metrics);
+      records += format_record(fp_hex, job_index, metrics);
     }
+    out.write(records.data(), static_cast<std::streamsize>(records.size()));
     out.flush();
     if (!out) {
       throw std::runtime_error("failed writing compacted cache file '" + tmp +

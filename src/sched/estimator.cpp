@@ -44,27 +44,58 @@ class HistoryEstimator final : public Estimator {
   }
   std::string name() const override { return "history-ema"; }
 
+  // Storage is dense per (graph, node): estimate() runs once per ready
+  // candidate at every scheduling step, so an O(log n) tree walk here
+  // was a measurable slice of the simulator's hot path. The dense
+  // lookup returns the very same stored doubles a map would.
+
   double estimate(int graph, tg::NodeId node, double wc_cycles,
                   double) override {
-    const auto it = ema_.find({graph, node});
-    if (it == ema_.end()) {
-      return 0.6 * wc_cycles;  // prior: mean of U(0.2, 1.0)
+    const auto g = static_cast<std::size_t>(graph);
+    if (g < ema_.size()) {
+      const auto& per_node = ema_[g];
+      if (node < per_node.size() && per_node[node].seen) {
+        return per_node[node].value;
+      }
     }
-    return it->second;
+    return 0.6 * wc_cycles;  // prior: mean of U(0.2, 1.0)
   }
 
   void observe(int graph, tg::NodeId node, double actual_cycles) override {
-    auto [it, inserted] = ema_.try_emplace({graph, node}, actual_cycles);
-    if (!inserted) {
-      it->second = alpha_ * actual_cycles + (1.0 - alpha_) * it->second;
+    const auto g = static_cast<std::size_t>(graph);
+    if (g >= ema_.size()) {
+      ema_.resize(g + 1);
+    }
+    auto& per_node = ema_[g];
+    if (node >= per_node.size()) {
+      per_node.resize(node + 1);
+    }
+    auto& e = per_node[node];
+    if (!e.seen) {
+      e.seen = true;
+      e.value = actual_cycles;
+    } else {
+      e.value = alpha_ * actual_cycles + (1.0 - alpha_) * e.value;
     }
   }
 
-  void reset() override { ema_.clear(); }
+  void reset() override {
+    // Un-see every entry but keep the allocations — a reset estimator
+    // behaves like a fresh one while the next run reuses the arrays.
+    for (auto& per_node : ema_) {
+      for (auto& e : per_node) {
+        e.seen = false;
+      }
+    }
+  }
 
  private:
+  struct Ema {
+    double value = 0.0;
+    bool seen = false;
+  };
   double alpha_;
-  std::map<std::pair<int, tg::NodeId>, double> ema_;
+  std::vector<std::vector<Ema>> ema_;
 };
 
 class OracleEstimator final : public Estimator {

@@ -8,7 +8,7 @@
 // keep history of previous instances of each task." (§4.2)
 
 #include <cstdint>
-#include <map>
+#include <vector>
 #include <memory>
 #include <string>
 #include <utility>

@@ -21,4 +21,24 @@ bool feasibility_check(std::span<const dvs::GraphStatus> edf_sorted,
   return true;
 }
 
+bool feasibility_check(std::span<const dvs::GraphStatus> statuses,
+                       std::span<const int> edf_order, int candidate_pos,
+                       double candidate_wc_cycles, double fref_hz,
+                       double now) {
+  double prefix_wc_cycles = 0.0;
+  for (int j = 0; j < candidate_pos; ++j) {
+    const auto& g =
+        statuses[static_cast<std::size_t>(edf_order[static_cast<std::size_t>(j)])];
+    prefix_wc_cycles += g.remaining_wc_cycles;
+    const double window_s = g.abs_deadline_s - now;
+    if (window_s < 0.0) {
+      return false;
+    }
+    if (prefix_wc_cycles + candidate_wc_cycles > fref_hz * window_s) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace bas::sched

@@ -30,4 +30,14 @@ bool feasibility_check(std::span<const dvs::GraphStatus> edf_sorted,
                        int candidate_pos, double candidate_wc_cycles,
                        double fref_hz, double now);
 
+/// The same check reading the EDF order through an index list:
+/// `statuses` is addressed by graph id and `edf_order` holds the ids in
+/// ascending-deadline order. Lets the simulator's hot loop skip
+/// materializing an EDF-sorted copy of the statuses each step; the
+/// prefix fold is identical to the span overload's.
+bool feasibility_check(std::span<const dvs::GraphStatus> statuses,
+                       std::span<const int> edf_order, int candidate_pos,
+                       double candidate_wc_cycles, double fref_hz,
+                       double now);
+
 }  // namespace bas::sched

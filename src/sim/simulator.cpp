@@ -9,6 +9,7 @@
 #include "dvs/realizer.hpp"
 #include "sched/feasibility.hpp"
 #include "util/rng.hpp"
+#include "util/sort.hpp"
 
 namespace bas::sim {
 
@@ -33,6 +34,12 @@ struct InstanceRt {
   double release_s = 0.0;
   double deadline_s = 0.0;
   std::vector<NodeRt> nodes;
+  /// Ids with pending_preds == 0 and !done, ascending — incrementally
+  /// maintained so the ready-list scan touches only ready nodes. The
+  /// ascending order reproduces exactly the id-order walk the scan
+  /// previously did over all nodes (same candidates, same sequence —
+  /// which the Random priority's draw stream depends on).
+  std::vector<tg::NodeId> ready;
   std::size_t done_count = 0;
   /// Paper's WCi: Σ ac(done) + Σ wc(pending).
   double cc_wc = 0.0;
@@ -42,32 +49,112 @@ struct InstanceRt {
   bool complete() const { return done_count == nodes.size(); }
 };
 
-double draw_actual(const SimConfig& cfg, int graph, std::uint32_t instance,
-                   tg::NodeId node, double wc) {
-  std::uint64_t key = util::Rng::hash_combine(cfg.seed, 0x7a5c0ffeULL);
-  key = util::Rng::hash_combine(key, static_cast<std::uint64_t>(graph));
-  key = util::Rng::hash_combine(key, node);
+/// One graph's release stream. Each graph gets a fresh ArrivalProcess
+/// bound to its period and a private Rng derived from (config seed,
+/// arrival tag, graph index) — a pure function of the coordinates, so
+/// arrivals are identical across schemes (common random numbers) and
+/// for any thread count under the campaign runner. `next` holds the
+/// one precomputed upcoming release; once it reaches the horizon the
+/// stream is closed (kInf) and never drawn from again, keeping the
+/// draw sequence independent of how the run ends.
+struct ArrivalRt {
+  std::unique_ptr<arrival::ArrivalProcess> process;
+  util::Rng rng{0};
+  double prev = -1.0;
+  double next = kInf;
+};
+
+struct ScoredCandidate {
+  sched::Candidate cand;
+  double score = 0.0;
+};
+
+/// One constant-operating-point stretch of a chosen node's slot.
+struct Phase {
+  dvs::OperatingPoint op;
+  double start, end;
+};
+
+/// Int-indexed view over per-graph state: the simulator addresses
+/// graphs with the int ids GraphStatus uses, while the backing storage
+/// is a std::vector. The one size_t cast lives here instead of at
+/// every subscript.
+template <typename T>
+class ByGraph {
+ public:
+  explicit ByGraph(std::vector<T>& v) : v_(&v) {}
+  T& operator[](int g) const { return (*v_)[static_cast<std::size_t>(g)]; }
+
+ private:
+  std::vector<T>* v_;
+};
+
+/// Immutable per-node facts hoisted out of the release loop: the wcet,
+/// predecessor count, the draw_actual hash key (a pure function of
+/// (seed, graph, node)) and — under kPerNodeMean — the node's
+/// persistent mean fraction, which the original formula re-derived
+/// from the same key at every release.
+struct NodeStatic {
+  double wc = 0.0;
+  int pred_count = 0;
+  std::uint64_t draw_key = 0;
+  double mean_frac = 0.0;  // kPerNodeMean only
+};
+
+/// Immutable per-graph facts (TaskGraph::total_wcet_cycles() re-sums
+/// the node list on every call, so the per-step status snapshot reads
+/// the value from here instead).
+struct GraphStatic {
+  double period_s = 0.0;
+  double deadline_s = 0.0;
+  double total_wc_cycles = 0.0;
+  std::vector<NodeStatic> nodes;
+};
+
+double draw_actual(const SimConfig& cfg, const NodeStatic& ns,
+                   std::uint32_t instance) {
+  const std::uint64_t inst_key =
+      util::Rng::hash_combine(ns.draw_key, 0xabcd0000ULL + instance);
   if (cfg.ac_model == AcModel::kIid) {
-    key = util::Rng::hash_combine(key, 0xabcd0000ULL + instance);
-    util::Rng rng(key);
-    return wc * rng.uniform(cfg.ac_lo_frac, cfg.ac_hi_frac);
+    util::Rng rng(inst_key);
+    return ns.wc * rng.uniform(cfg.ac_lo_frac, cfg.ac_hi_frac);
   }
-  // Persistent per-node mean (instance-independent key) plus jitter.
-  util::Rng mean_rng(key);
-  const double mean = mean_rng.uniform(cfg.ac_lo_frac, cfg.ac_hi_frac);
-  util::Rng jitter_rng(
-      util::Rng::hash_combine(key, 0xabcd0000ULL + instance));
+  // Persistent per-node mean (precomputed: instance-independent) plus
+  // per-instance jitter.
+  util::Rng jitter_rng(inst_key);
   const double frac =
-      std::clamp(mean + jitter_rng.uniform(-cfg.ac_jitter, cfg.ac_jitter),
+      std::clamp(ns.mean_frac + jitter_rng.uniform(-cfg.ac_jitter,
+                                                   cfg.ac_jitter),
                  cfg.ac_lo_frac, cfg.ac_hi_frac);
-  return wc * frac;
+  return ns.wc * frac;
 }
 
 }  // namespace
 
+/// The scheduling loop's working set, owned by the Simulator and reused
+/// across steps and runs. Buffers are cleared (size 0) or overwritten
+/// in full each step, never reallocated in steady state — the zero-
+/// alloc property SimResult::perf.scratch_grows tracks. Reuse is an
+/// exact transformation: every element written this step is written
+/// before it is read, so the values never depend on what a previous
+/// step (or run) left behind.
+struct Simulator::Scratch {
+  std::vector<GraphStatic> statics;  // filled once, in the constructor
+  std::vector<InstanceRt> inst;
+  std::vector<std::uint32_t> released_count;
+  std::vector<ArrivalRt> arrivals;
+  std::vector<dvs::GraphStatus> statuses;
+  std::vector<int> edf;
+  std::vector<ScoredCandidate> candidates;
+};
+
 Simulator::Simulator(const tg::TaskGraphSet& set, const dvs::Processor& proc,
                      core::Scheme& scheme, SimConfig config)
-    : set_(set), proc_(proc), scheme_(scheme), config_(config) {
+    : set_(set),
+      proc_(proc),
+      scheme_(scheme),
+      config_(config),
+      scratch_(std::make_unique<Scratch>()) {
   set_.validate();
   if (!(config_.horizon_s > 0.0)) {
     throw std::invalid_argument("Simulator: horizon must be positive");
@@ -82,7 +169,39 @@ Simulator::Simulator(const tg::TaskGraphSet& set, const dvs::Processor& proc,
   // Fail on a bad arrival model/params at construction, not mid-run
   // inside a worker thread.
   arrival::validate(config_.arrival);
+
+  // Gather the immutable per-graph/per-node facts once. The values are
+  // computed with exactly the expressions the scheduling loop used to
+  // evaluate in place (same folds, same hash chains), so reading them
+  // from here is bit-identical to re-deriving them.
+  auto& statics = scratch_->statics;
+  statics.resize(set_.size());
+  for (std::size_t gi = 0; gi < set_.size(); ++gi) {
+    const auto& graph = set_.graph(gi);
+    auto& gs = statics[gi];
+    gs.period_s = graph.period();
+    gs.deadline_s = graph.deadline();
+    gs.total_wc_cycles = graph.total_wcet_cycles();
+    gs.nodes.resize(graph.node_count());
+    for (tg::NodeId id = 0; id < graph.node_count(); ++id) {
+      auto& ns = gs.nodes[id];
+      ns.wc = graph.node(id).wcet_cycles;
+      ns.pred_count = static_cast<int>(graph.predecessors(id).size());
+      std::uint64_t key =
+          util::Rng::hash_combine(config_.seed, 0x7a5c0ffeULL);
+      key = util::Rng::hash_combine(key, static_cast<std::uint64_t>(gi));
+      key = util::Rng::hash_combine(key, id);
+      ns.draw_key = key;
+      if (config_.ac_model == AcModel::kPerNodeMean) {
+        util::Rng mean_rng(key);
+        ns.mean_frac =
+            mean_rng.uniform(config_.ac_lo_frac, config_.ac_hi_frac);
+      }
+    }
+  }
 }
+
+Simulator::~Simulator() = default;
 
 SimResult Simulator::run(bat::Battery* battery) {
   scheme_.reset();
@@ -92,82 +211,134 @@ SimResult Simulator::run(bat::Battery* battery) {
 
   SimResult res;
   res.battery_attached = battery != nullptr;
+  const bool count_perf = config_.record_perf_counters;
   const int n_graphs = static_cast<int>(set_.size());
-  std::vector<InstanceRt> inst(static_cast<std::size_t>(n_graphs));
-  std::vector<std::uint32_t> released_count(
-      static_cast<std::size_t>(n_graphs), 0);
+  const std::size_t n = set_.size();
+
+  // Reset the reused working set without releasing capacity. Instances
+  // return to the pre-first-release state (an empty node list counts as
+  // complete()), while each graph's node buffer keeps its allocation
+  // from earlier releases and runs.
+  Scratch& s = *scratch_;
+  if (s.inst.size() != n) {
+    s.inst.resize(n);
+  }
+  for (auto& ir : s.inst) {
+    ir.number = 0;
+    ir.release_s = 0.0;
+    ir.deadline_s = 0.0;
+    ir.nodes.clear();
+    ir.ready.clear();
+    ir.done_count = 0;
+    ir.cc_wc = 0.0;
+    ir.remaining_wc = 0.0;
+  }
+  s.released_count.assign(n, 0);
+  if (s.arrivals.size() != n) {
+    s.arrivals.resize(n);
+  }
+  s.statuses.resize(n);
+  // The static status fields never change within a run; write them once
+  // so the per-step snapshot touches only the dynamic four.
+  for (int g = 0; g < n_graphs; ++g) {
+    auto& st = s.statuses[static_cast<std::size_t>(g)];
+    st.graph = g;
+    st.period_s = s.statics[static_cast<std::size_t>(g)].period_s;
+    st.wc_total_cycles = s.statics[static_cast<std::size_t>(g)].total_wc_cycles;
+  }
+  if (config_.record_trace) {
+    res.trace.reserve(1024);
+  }
+  if (config_.record_profile) {
+    res.profile.reserve(1024);
+  }
+
+  const ByGraph statics(s.statics);
+  const ByGraph inst(s.inst);
+  const ByGraph released_count(s.released_count);
+  const ByGraph arrivals(s.arrivals);
+  const ByGraph statuses(s.statuses);
+  auto graph_at = [&](int g) -> decltype(auto) {
+    return set_.graph(static_cast<std::size_t>(g));
+  };
+  auto scratch_caps = [&s] {
+    std::size_t caps = s.edf.capacity() + s.candidates.capacity() +
+                       s.statuses.capacity();
+    for (const auto& ir : s.inst) {
+      caps += ir.ready.capacity();
+    }
+    return caps;
+  };
 
   double t = 0.0;
   bool battery_dead = false;
   double last_busy_current = kInf;
 
-  // Per-graph release clocks. Each graph gets a fresh ArrivalProcess
-  // bound to its period and a private Rng derived from (config seed,
-  // arrival tag, graph index) — a pure function of the coordinates, so
-  // arrivals are identical across schemes (common random numbers) and
-  // for any thread count under the campaign runner. `next` holds the
-  // one precomputed upcoming release; once it reaches the horizon the
-  // stream is closed (kInf) and never drawn from again, keeping the
-  // draw sequence independent of how the run ends.
-  struct ArrivalRt {
-    std::unique_ptr<arrival::ArrivalProcess> process;
-    util::Rng rng{0};
-    double prev = -1.0;
-    double next = kInf;
-  };
-  std::vector<ArrivalRt> arrivals(static_cast<std::size_t>(n_graphs));
   for (int g = 0; g < n_graphs; ++g) {
-    auto& ar = arrivals[static_cast<std::size_t>(g)];
-    ar.process = arrival::make(config_.arrival,
-                               set_.graph(static_cast<std::size_t>(g)).period());
+    auto& ar = arrivals[g];
+    ar.process = arrival::make(config_.arrival, statics[g].period_s);
     ar.rng = util::Rng(util::derive_seed(
         config_.seed, {0x41525256ULL /*'ARRV'*/,
                        static_cast<std::uint64_t>(g)}));
+    ar.prev = -1.0;
     const double first = ar.process->next_release(ar.prev, ar.rng);
     ar.next = first < config_.horizon_s - kEps ? first : kInf;
   }
 
-  auto next_release_time = [&](int g) -> double {
-    return arrivals[static_cast<std::size_t>(g)].next;
-  };
-
-  auto earliest_release = [&]() -> double {
+  // Earliest upcoming release across all graphs, maintained at release
+  // time: a graph's `next` only changes when it releases, so the cached
+  // minimum is refreshed once per release batch instead of rescanned at
+  // every decision point.
+  double next_release_s = kInf;
+  auto recompute_next_release = [&] {
     double best = kInf;
     for (int g = 0; g < n_graphs; ++g) {
-      best = std::min(best, next_release_time(g));
+      best = std::min(best, arrivals[g].next);
     }
-    return best;
+    next_release_s = best;
   };
+  recompute_next_release();
 
   auto release_instance = [&](int g) {
-    auto& ir = inst[static_cast<std::size_t>(g)];
-    auto& ar = arrivals[static_cast<std::size_t>(g)];
-    const auto& graph = set_.graph(static_cast<std::size_t>(g));
+    auto& ir = inst[g];
+    auto& ar = arrivals[g];
+    const auto& gs = statics[g];
     if (released_count[g] > 0 && !ir.complete()) {
       ++res.deadline_misses;  // previous instance overran into this release
     }
     ir.number = released_count[g];
     ir.release_s = ar.next;
-    ir.deadline_s = ir.release_s + graph.deadline();
+    ir.deadline_s = ir.release_s + gs.deadline_s;
     ar.prev = ar.next;
     if (ar.next != kInf) {
       const double upcoming = ar.process->next_release(ar.prev, ar.rng);
       ar.next = upcoming < config_.horizon_s - kEps ? upcoming : kInf;
     }
-    ir.nodes.assign(graph.node_count(), NodeRt{});
-    ir.done_count = 0;
-    double total_wc = 0.0;
-    for (tg::NodeId id = 0; id < graph.node_count(); ++id) {
-      auto& nr = ir.nodes[id];
-      nr.wc = graph.node(id).wcet_cycles;
-      nr.ac = draw_actual(config_, g, ir.number, id, nr.wc);
-      nr.remaining_ac = nr.ac;
-      nr.pending_preds = static_cast<int>(graph.predecessors(id).size());
-      nr.done = false;
-      total_wc += nr.wc;
+    const std::size_t n_nodes = gs.nodes.size();
+    if (ir.nodes.size() != n_nodes) {
+      if (count_perf && ir.nodes.capacity() < n_nodes) {
+        ++res.perf.scratch_grows;
+      }
+      ir.nodes.resize(n_nodes);
     }
-    ir.cc_wc = total_wc;
-    ir.remaining_wc = total_wc;
+    ir.done_count = 0;
+    ir.ready.clear();
+    for (tg::NodeId id = 0; id < n_nodes; ++id) {
+      const auto& ns = gs.nodes[id];
+      auto& nr = ir.nodes[id];
+      nr.wc = ns.wc;
+      nr.ac = draw_actual(config_, ns, ir.number);
+      nr.remaining_ac = nr.ac;
+      nr.pending_preds = ns.pred_count;
+      nr.done = false;
+      if (ns.pred_count == 0) {
+        ir.ready.push_back(id);
+      }
+    }
+    // Σ wc over the release loop is the same node-order fold
+    // total_wcet_cycles() performs, precomputed in the constructor.
+    ir.cc_wc = gs.total_wc_cycles;
+    ir.remaining_wc = gs.total_wc_cycles;
     ++released_count[g];
     ++res.instances_released;
   };
@@ -179,6 +350,9 @@ SimResult Simulator::run(bat::Battery* battery) {
     double sustained = dt;
     if (battery != nullptr && !battery_dead) {
       sustained = battery->draw(current_a, dt);
+      if (count_perf) {
+        ++res.perf.battery_draws;
+      }
       if (battery->empty()) {
         battery_dead = true;
         res.battery_died = true;
@@ -192,11 +366,19 @@ SimResult Simulator::run(bat::Battery* battery) {
   };
 
   while (true) {
+    const std::size_t caps_before = count_perf ? scratch_caps() : 0;
+    if (count_perf) {
+      ++res.perf.steps;
+    }
+
     // ---- 1. process due releases ------------------------------------
-    for (int g = 0; g < n_graphs; ++g) {
-      while (next_release_time(g) <= t + kEps) {
-        release_instance(g);
+    if (next_release_s <= t + kEps) {
+      for (int g = 0; g < n_graphs; ++g) {
+        while (arrivals[g].next <= t + kEps) {
+          release_instance(g);
+        }
       }
+      recompute_next_release();
     }
 
     if (!config_.drain && t >= config_.horizon_s - kEps) {
@@ -206,17 +388,11 @@ SimResult Simulator::run(bat::Battery* battery) {
       break;
     }
 
-    // ---- 2. status snapshot ------------------------------------------
-    std::vector<dvs::GraphStatus> statuses(
-        static_cast<std::size_t>(n_graphs));
+    // ---- 2. status snapshot (static fields prefilled above) ----------
     for (int g = 0; g < n_graphs; ++g) {
-      const auto& graph = set_.graph(static_cast<std::size_t>(g));
-      const auto& ir = inst[static_cast<std::size_t>(g)];
-      auto& st = statuses[static_cast<std::size_t>(g)];
-      st.graph = g;
-      st.period_s = graph.period();
+      const auto& ir = inst[g];
+      auto& st = statuses[g];
       st.abs_deadline_s = ir.deadline_s;
-      st.wc_total_cycles = graph.total_wcet_cycles();
       st.complete = ir.complete();
       // Past its window with no successor instance released (drain tail):
       // the graph no longer claims bandwidth.
@@ -226,20 +402,20 @@ SimResult Simulator::run(bat::Battery* battery) {
     }
 
     // ---- 3. EDF order over incomplete instances ----------------------
-    std::vector<int> edf;
+    s.edf.clear();
     for (int g = 0; g < n_graphs; ++g) {
-      if (!inst[static_cast<std::size_t>(g)].complete()) {
-        edf.push_back(g);
+      if (!inst[g].complete()) {
+        s.edf.push_back(g);
       }
     }
-    std::sort(edf.begin(), edf.end(), [&](int a, int b) {
-      const double da = inst[static_cast<std::size_t>(a)].deadline_s;
-      const double db = inst[static_cast<std::size_t>(b)].deadline_s;
+    util::insertion_sort(s.edf, [&](int a, int b) {
+      const double da = inst[a].deadline_s;
+      const double db = inst[b].deadline_s;
       return da != db ? da < db : a < b;
     });
 
-    if (edf.empty()) {
-      double t_next = earliest_release();
+    if (s.edf.empty()) {
+      double t_next = next_release_s;
       if (t_next == kInf) {
         if (config_.drain || t >= config_.horizon_s - kEps) {
           break;  // drained: nothing in flight, nothing to release
@@ -257,38 +433,31 @@ SimResult Simulator::run(bat::Battery* battery) {
         }
       }
       t = t_next;
+      if (count_perf && scratch_caps() != caps_before) {
+        ++res.perf.scratch_grows;
+      }
       continue;
     }
 
     // ---- 4. frequency selection (the scheme's DVS half) --------------
     const double fref =
-        std::clamp(scheme_.dvs->select(statuses, t), 0.0, proc_.fmax_hz());
+        std::clamp(scheme_.dvs->select(s.statuses, t), 0.0, proc_.fmax_hz());
     const auto plan = dvs::realize(proc_, fref);
 
-    // EDF-ordered status view for the feasibility check.
-    std::vector<dvs::GraphStatus> edf_statuses;
-    edf_statuses.reserve(edf.size());
-    for (int g : edf) {
-      edf_statuses.push_back(statuses[static_cast<std::size_t>(g)]);
-    }
-
     // ---- 5. build the ready list (the scheme's ordering half) --------
-    struct ScoredCandidate {
-      sched::Candidate cand;
-      double score = 0.0;
-    };
-    std::vector<ScoredCandidate> candidates;
+    s.candidates.clear();
     const std::size_t scan_depth =
-        scheme_.scope == core::ReadyScope::kAllReleased ? edf.size() : 1;
+        scheme_.scope == core::ReadyScope::kAllReleased ? s.edf.size() : 1;
     for (std::size_t pos = 0; pos < scan_depth; ++pos) {
-      const int g = edf[pos];
-      const auto& ir = inst[static_cast<std::size_t>(g)];
-      for (tg::NodeId id = 0; id < ir.nodes.size(); ++id) {
+      const int g = s.edf[pos];
+      const auto& ir = inst[g];
+      // `ready` holds exactly the !done, no-pending-preds ids in
+      // ascending order — the same nodes the full id-order scan of
+      // ir.nodes used to select, without touching the rest.
+      for (const tg::NodeId id : ir.ready) {
         const auto& nr = ir.nodes[id];
-        if (nr.done || nr.pending_preds > 0) {
-          continue;
-        }
-        sched::Candidate c;
+        auto& sc = s.candidates.emplace_back();
+        auto& c = sc.cand;
         c.graph = g;
         c.node = id;
         c.wc_cycles = std::max(nr.wc - nr.executed(), kCycleEps);
@@ -300,27 +469,30 @@ SimResult Simulator::run(bat::Battery* battery) {
         c.graph_abs_deadline_s = ir.deadline_s;
         c.graph_remaining_wc_cycles = ir.remaining_wc;
         c.edf_position = static_cast<int>(pos);
-        candidates.push_back({c, 0.0});
+        sc.score = 0.0;
       }
     }
-    for (auto& sc : candidates) {
+    if (count_perf) {
+      res.perf.candidates_scored += s.candidates.size();
+    }
+    for (auto& sc : s.candidates) {
       sc.score = scheme_.priority->score(sc.cand, t);
     }
-    std::sort(candidates.begin(), candidates.end(),
-              [](const ScoredCandidate& a, const ScoredCandidate& b) {
-                if (a.score != b.score) {
-                  return a.score < b.score;
-                }
-                if (a.cand.graph != b.cand.graph) {
-                  return a.cand.graph < b.cand.graph;
-                }
-                return a.cand.node < b.cand.node;
-              });
+    util::insertion_sort(s.candidates,
+                   [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                     if (a.score != b.score) {
+                       return a.score < b.score;
+                     }
+                     if (a.cand.graph != b.cand.graph) {
+                       return a.cand.graph < b.cand.graph;
+                     }
+                     return a.cand.node < b.cand.node;
+                   });
 
     const ScoredCandidate* chosen = nullptr;
-    for (const auto& sc : candidates) {
+    for (const auto& sc : s.candidates) {
       if (sc.cand.edf_position == 0 ||
-          sched::feasibility_check(edf_statuses, sc.cand.edf_position,
+          sched::feasibility_check(s.statuses, s.edf, sc.cand.edf_position,
                                    sc.cand.wc_cycles,
                                    plan.effective_freq_hz, t)) {
         chosen = &sc;
@@ -334,32 +506,31 @@ SimResult Simulator::run(bat::Battery* battery) {
 
     // ---- 6. run the chosen node until completion or next release -----
     const int g = chosen->cand.graph;
-    auto& ir = inst[static_cast<std::size_t>(g)];
+    auto& ir = inst[g];
     auto& nr = ir.nodes[chosen->cand.node];
 
     const double full_duration = nr.remaining_ac / plan.effective_freq_hz;
-    const double t_release = earliest_release();
+    const double t_release = next_release_s;
     const double run_until = std::min(t + full_duration, t_release);
 
     // The two-point mix is laid out over the node's intended execution
-    // window, higher point first (Guideline 1 within the slot).
+    // window, higher point first (Guideline 1 within the slot). At most
+    // two phases ever exist, so a fixed pair replaces the old vector.
     const double hi_end = t + plan.hi_fraction * full_duration;
-    struct Phase {
-      dvs::OperatingPoint op;
-      double start, end;
-    };
-    std::vector<Phase> phases;
+    Phase phase_buf[2];
+    std::size_t n_phases = 0;
     if (run_until <= hi_end + kEps || plan.single_level()) {
-      phases.push_back({plan.hi_fraction > 0.0 ? plan.hi : plan.lo, t,
-                        run_until});
+      phase_buf[n_phases++] = {plan.hi_fraction > 0.0 ? plan.hi : plan.lo, t,
+                               run_until};
     } else {
-      phases.push_back({plan.hi, t, hi_end});
-      phases.push_back({plan.lo, hi_end, run_until});
+      phase_buf[n_phases++] = {plan.hi, t, hi_end};
+      phase_buf[n_phases++] = {plan.lo, hi_end, run_until};
     }
 
     double executed_cycles = 0.0;
     double t_now = t;
-    for (const auto& ph : phases) {
+    for (std::size_t p = 0; p < n_phases; ++p) {
+      const auto& ph = phase_buf[p];
       const double dt = ph.end - ph.start;
       if (dt <= 0.0) {
         continue;
@@ -405,9 +576,13 @@ SimResult Simulator::run(bat::Battery* battery) {
       // by the wc that was never going to run.
       ir.cc_wc += nr.ac - nr.wc;
       ir.remaining_wc = std::max(0.0, ir.remaining_wc - (nr.wc - nr.ac));
-      const auto& graph = set_.graph(static_cast<std::size_t>(g));
+      auto& rd = ir.ready;
+      rd.erase(std::lower_bound(rd.begin(), rd.end(), chosen->cand.node));
+      const auto& graph = graph_at(g);
       for (tg::NodeId succ : graph.successors(chosen->cand.node)) {
-        --ir.nodes[succ].pending_preds;
+        if (--ir.nodes[succ].pending_preds == 0) {
+          rd.insert(std::lower_bound(rd.begin(), rd.end(), succ), succ);
+        }
       }
       scheme_.estimator->observe(g, chosen->cand.node, nr.ac);
       if (ir.complete()) {
@@ -418,6 +593,10 @@ SimResult Simulator::run(bat::Battery* battery) {
       }
     } else if (run_until >= t_release - kEps) {
       ++res.preemptions;
+    }
+
+    if (count_perf && scratch_caps() != caps_before) {
+      ++res.perf.scratch_grows;
     }
   }
 

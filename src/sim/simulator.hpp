@@ -19,6 +19,7 @@
 // (common random numbers), as required for fair scheme comparisons.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -74,6 +75,28 @@ struct SimConfig {
   bool record_profile = true;
   /// With an attached battery: stop the run the moment it empties.
   bool stop_when_battery_empty = true;
+  /// Count hot-path work (scheduling steps, battery draws, scratch-
+  /// buffer growth) into SimResult::perf. Counters are instrumentation
+  /// only — they never enter a sink or a cache record, so recording
+  /// them cannot perturb the byte-identity contract. The perf bench
+  /// (bench/perf_hotpath) flips this on to normalize its timings.
+  bool record_perf_counters = false;
+};
+
+/// Hot-path work counters (SimConfig::record_perf_counters).
+struct PerfCounters {
+  /// Scheduling-loop iterations — decision points visited (releases,
+  /// completions, idle hops). The denominator behind steps/sec.
+  std::uint64_t steps = 0;
+  /// Battery::draw calls issued (busy and idle segments alike).
+  std::uint64_t battery_draws = 0;
+  /// Ready-list candidates scored across all steps.
+  std::uint64_t candidates_scored = 0;
+  /// Times a reused scratch buffer (status/EDF/candidate arrays,
+  /// per-instance node and ready-list storage) had to allocate or
+  /// grow. Steady state should hold this at a small warmup constant —
+  /// the zero-alloc property bench/perf_hotpath tracks.
+  std::uint64_t scratch_grows = 0;
 };
 
 struct SimResult {
@@ -106,6 +129,7 @@ struct SimResult {
 
   bat::LoadProfile profile;       // when record_profile
   std::vector<ExecSlice> trace;   // when record_trace
+  PerfCounters perf;              // when record_perf_counters
 
   bool battery_attached = false;
   bool battery_died = false;
@@ -123,16 +147,27 @@ class Simulator {
   /// random priority stream); it is reset() at the start of every run.
   Simulator(const tg::TaskGraphSet& set, const dvs::Processor& proc,
             core::Scheme& scheme, SimConfig config);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Runs the simulation; with a battery, discharges it inline and (by
   /// default) stops when it empties. The battery is reset first.
   SimResult run(bat::Battery* battery = nullptr);
 
  private:
+  // Per-run working state (instance/arrival runtime, status snapshots,
+  // EDF order, candidate and phase lists), owned by the Simulator and
+  // reused across steps and runs so the scheduling loop allocates
+  // nothing in steady state. Defined in simulator.cpp.
+  struct Scratch;
+
   const tg::TaskGraphSet& set_;
   const dvs::Processor& proc_;
   core::Scheme& scheme_;
   SimConfig config_;
+  std::unique_ptr<Scratch> scratch_;
 };
 
 /// Convenience wrapper: build the scheme, simulate, return the result.

@@ -1,0 +1,32 @@
+#pragma once
+// Small-N sorting for hot loops.
+//
+// The scheduling hot path sorts a handful of elements per step (EDF
+// order, scored candidates, laEDF's deferral order). Each comparator is
+// a strict TOTAL order — every tie is broken explicitly by an id — so
+// any comparison sort produces the same unique sequence std::sort
+// would; insertion sort merely skips the introsort dispatch, which
+// dominates at these sizes. That output-identity argument is
+// load-bearing for the byte-identity contract (EXPERIMENTS.md,
+// "Performance"): do not use this with comparators that can tie.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bas::util {
+
+template <typename T, typename Less>
+void insertion_sort(std::vector<T>& v, Less less) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    T key = std::move(v[i]);
+    std::size_t j = i;
+    while (j > 0 && less(key, v[j - 1])) {
+      v[j] = std::move(v[j - 1]);
+      --j;
+    }
+    v[j] = std::move(key);
+  }
+}
+
+}  // namespace bas::util

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Differential bit-identity smoke (ctest: golden_bit_identity).
+#
+# The hot-path work (scratch-buffer reuse in Simulator::run, battery-
+# kernel precomputation, cache write batching) is contracted to be an
+# *exact* transformation: every CSV byte must match what the code
+# produced before the refactor. The files under tests/golden/ were
+# generated at the pre-refactor HEAD with the flags below; this script
+# re-runs the same cells — table2 fresh, arrival_stress through the
+# full shard + cache + merge campaign path — and cmp's the outputs.
+#
+# If a future change moves these bytes ON PURPOSE (a genuine semantic
+# change, not a perf transformation), regenerate the goldens with the
+# commands below and say so in the PR:
+#
+#   table2_battery_lifetime --sets 2 --jobs 2 --csv tests/golden/table2_smoke.csv
+#   arrival_stress --sets 1 --scenario.horizon 600 --jobs 2 \
+#       --csv tests/golden/arrival_stress_smoke.csv
+#
+# Usage: golden_outputs_smoke.sh /path/to/table2 /path/to/arrival_stress golden_dir
+
+set -euo pipefail
+
+table2="$1"
+arrival="$2"
+golden="$3"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+# 1. Table 2 smoke cell, fresh run.
+"$table2" --sets 2 --jobs 2 --csv "$work/table2.csv" > /dev/null
+cmp "$golden/table2_smoke.csv" "$work/table2.csv"
+
+# 2. arrival_stress smoke cell through the campaign path: two shards
+#    into one cache dir, then a merge — the merged bytes must equal the
+#    pre-refactor fresh run's.
+flags="--sets 1 --scenario.horizon 600"
+"$arrival" $flags --jobs 2 --shard 0/2 --cache "$work/cache" > /dev/null
+"$arrival" $flags --jobs 2 --shard 1/2 --cache "$work/cache" > /dev/null
+"$arrival" $flags --merge --cache "$work/cache" --csv "$work/arrival.csv" > /dev/null
+cmp "$golden/arrival_stress_smoke.csv" "$work/arrival.csv"
+
+echo "golden outputs: OK"

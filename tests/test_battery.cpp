@@ -485,5 +485,126 @@ TEST(Ideal, ExactBucketSemantics) {
   EXPECT_NEAR(b.charge_delivered_c(), 100.0, 1e-9);
 }
 
+// --- diffusion fast-path bit-exactness ---------------------------------------
+
+/// The original per-call diffusion stepping, verbatim: rates recomputed
+/// inside every loop, no decay/gain reuse. DiffusionBattery's
+/// precomputed tables and shared buffers are contracted to reproduce
+/// this arithmetic to the last bit — the same exact-transformation rule
+/// the golden CSV smoke enforces end to end.
+struct ReferenceDiffusion {
+  bat::DiffusionParams p;
+  std::vector<double> s_m;
+  double drawn_c = 0.0;
+  bool dead = false;
+
+  explicit ReferenceDiffusion(bat::DiffusionParams params) : p(params) {
+    s_m.assign(static_cast<std::size_t>(p.series_terms), 0.0);
+  }
+
+  double sigma_after(double current_a, double t) const {
+    double sigma = drawn_c + current_a * t;
+    for (int m = 1; m <= p.series_terms; ++m) {
+      const double rate = p.beta_squared * m * m;
+      const double decay = std::exp(-rate * t);
+      const double s_prev = s_m[static_cast<std::size_t>(m - 1)];
+      sigma += 2.0 * (s_prev * decay + current_a * (1.0 - decay) / rate);
+    }
+    return sigma;
+  }
+
+  void advance(double current_a, double t) {
+    drawn_c += current_a * t;
+    for (int m = 1; m <= p.series_terms; ++m) {
+      const double rate = p.beta_squared * m * m;
+      const double decay = std::exp(-rate * t);
+      auto& s = s_m[static_cast<std::size_t>(m - 1)];
+      s = s * decay + current_a * (1.0 - decay) / rate;
+    }
+  }
+
+  double draw(double current_a, double dt_s) {
+    if (dt_s == 0.0 || dead) {
+      return 0.0;
+    }
+    if (sigma_after(current_a, dt_s) < p.alpha_c) {
+      advance(current_a, dt_s);
+      return dt_s;
+    }
+    double lo = 0.0;
+    double hi = dt_s;
+    for (int iter = 0; iter < 80; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (sigma_after(current_a, mid) < p.alpha_c) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    advance(current_a, lo);
+    dead = true;
+    return lo;
+  }
+
+  double unavailable_c() const {
+    double total = 0.0;
+    for (double s : s_m) {
+      total += s;
+    }
+    return 2.0 * total;
+  }
+};
+
+TEST(Diffusion, PrecomputedTablesAreBitExact) {
+  const auto params = bat::DiffusionParams::paper_aaa_nimh();
+  bat::DiffusionBattery fast(params);
+  ReferenceDiffusion ref(params);
+
+  // Sweep of (current, dt) pairs shaped like simulator traffic: the
+  // paper processor's three operating-point currents plus idle, over
+  // durations from sub-millisecond slices to multi-minute stretches,
+  // interleaved so decay-cache hits and misses both occur.
+  const double currents[] = {0.0, 0.01, 0.3888, 1.8, 0.98415, 1.8,
+                             1.8,  0.01, 0.3888, 0.0, 1.8,     0.98415};
+  const double dts[] = {1e-4, 0.0123, 0.5,  3.75,  60.0,   0.5,
+                        0.5,  17.2,   1e-3, 240.0, 0.0077, 33.3};
+  int step = 0;
+  for (int round = 0; round < 220 && !fast.empty(); ++round) {
+    const double i = currents[step % 12];
+    const double dt = dts[(step * 7 + round) % 12];
+    ++step;
+    const double got = fast.draw(i, dt);
+    const double want = ref.draw(i, dt);
+    ASSERT_EQ(got, want) << "sustained diverged at round " << round;
+    ASSERT_EQ(fast.apparent_charge_c(), ref.drawn_c + ref.unavailable_c())
+        << "sigma diverged at round " << round;
+    ASSERT_EQ(fast.unavailable_c(), ref.unavailable_c())
+        << "transient state diverged at round " << round;
+    ASSERT_EQ(fast.empty(), ref.dead) << "cutoff diverged at round " << round;
+  }
+
+  // Push both through the cutoff bisection with a heavy draw and check
+  // the located crossing to the last bit.
+  if (!fast.empty()) {
+    const double got = fast.draw(5.0, 1e7);
+    const double want = ref.draw(5.0, 1e7);
+    ASSERT_EQ(got, want);
+    ASSERT_TRUE(fast.empty());
+    ASSERT_TRUE(ref.dead);
+    ASSERT_EQ(fast.unavailable_c(), ref.unavailable_c());
+  }
+
+  // reset() must restore the fresh state without perturbing the
+  // (state-independent) decay cache's correctness.
+  fast.reset();
+  ReferenceDiffusion ref2(params);
+  for (int round = 0; round < 40; ++round) {
+    const double i = currents[round % 12];
+    const double dt = dts[round % 12];
+    ASSERT_EQ(fast.draw(i, dt), ref2.draw(i, dt));
+    ASSERT_EQ(fast.unavailable_c(), ref2.unavailable_c());
+  }
+}
+
 }  // namespace
 }  // namespace bas

@@ -292,6 +292,38 @@ TEST(TraceAudit, DetectsViolations) {
   EXPECT_TRUE(sim::audit_trace(clean, set, proc, true).ok);
 }
 
+TEST(Simulator, PerfCountersCountWorkWithoutChangingResults) {
+  const auto set = single_task_set(3e8, 1.0);
+  const auto proc = dvs::Processor::paper_default();
+
+  auto config = quick_config(10.0);
+  const auto plain = sim::simulate_scheme(set, proc,
+                                          core::SchemeKind::kBas2, config);
+  config.record_perf_counters = true;
+  bat::KibamBattery battery(bat::KibamParams::paper_aaa_nimh());
+  const auto counted = sim::simulate_scheme(
+      set, proc, core::SchemeKind::kBas2, config, &battery);
+
+  // Off by default; on request the counters reflect the run's work.
+  EXPECT_EQ(plain.perf.steps, 0u);
+  EXPECT_EQ(plain.perf.battery_draws, 0u);
+  EXPECT_GE(counted.perf.steps, counted.instances_released);
+  EXPECT_GT(counted.perf.battery_draws, 0u);
+  EXPECT_GE(counted.perf.candidates_scored, counted.nodes_executed);
+  // Zero-alloc steady state: only the warmup growth of the reused
+  // scratch buffers, bounded far below one per step.
+  EXPECT_LT(counted.perf.scratch_grows, counted.perf.steps / 10 + 16);
+
+  // Counting must not perturb a single output bit (battery-free runs
+  // are comparable across the two configs).
+  const auto recount = sim::simulate_scheme(set, proc,
+                                            core::SchemeKind::kBas2, config);
+  EXPECT_EQ(recount.end_time_s, plain.end_time_s);
+  EXPECT_EQ(recount.energy_j, plain.energy_j);
+  EXPECT_EQ(recount.charge_c, plain.charge_c);
+  EXPECT_EQ(recount.nodes_executed, plain.nodes_executed);
+}
+
 TEST(TraceAudit, SummaryMentionsFirstProblem) {
   tg::TaskGraphSet set;
   tg::TaskGraph g(1.0, "g");
