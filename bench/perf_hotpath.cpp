@@ -19,11 +19,22 @@
 //   ./perf_hotpath --full                   # all schemes x batteries
 //   ./perf_hotpath --smoke --baseline ../bench/perf_baseline.json
 //   ./perf_hotpath --smoke --write-baseline perf_baseline.json
+//   ./perf_hotpath --smoke --campaign --cache DIR [--store sqlite]
 //
 // With --baseline, the run fails (exit 1) when any matching cell's
 // steps/sec falls more than --max-regress (default 0.30) below the
 // baseline file's figure. Regenerate the checked-in baseline with
 // --write-baseline on a quiet machine after an intentional perf change.
+//
+// With --campaign the same cells run through the exp::Runner pipeline —
+// per-rep jobs, the async store writer when --cache is set — instead of
+// the direct loop. The per-rep clock still wraps simulate_scheme only,
+// so the rates measure the identical work and the campaign overhead
+// (queue push per job, consumer-thread batching) shows up as the
+// steps/sec delta against a direct run. That delta is the store's
+// hot-path cost and is gated by the same --baseline machinery. Keep
+// --jobs 1 when gating: the per-rep clock is wall time, so concurrent
+// reps would time each other's CPU contention, not the store.
 
 #include <chrono>
 #include <cstdio>
@@ -33,9 +44,12 @@
 #include <vector>
 
 #include "core/scheme.hpp"
+#include "exp/experiment.hpp"
 #include "exp/factories.hpp"
+#include "exp/runner.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
+#include "store/store.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -89,35 +103,82 @@ std::size_t scheme_index(const std::string& label) {
   throw std::runtime_error("unknown scheme label '" + label + "'");
 }
 
-CellResult time_cell(const Cell& cell, int sets, std::uint64_t seed) {
+/// Times one replicate of one cell: the clock wraps simulate_scheme
+/// only. Returns {steps, draws, scored, grows, elapsed_s} — counters
+/// are exact in doubles (far below 2^53).
+std::vector<double> time_rep(const Cell& cell, std::uint64_t seed, int rep) {
   const auto& scn = scenario::scenario(cell.scenario);
   const auto proc = scn.make_processor();
   const auto kind = exp::scheme_kind_at(scheme_index(cell.scheme));
+  // Same seeding contract as the campaign drivers: the workload and
+  // sim seeds depend only on the replicate, never on the cell.
+  const std::uint64_t rep_seed =
+      util::Rng::hash_combine(seed, static_cast<std::uint64_t>(rep));
+  util::Rng rng(rep_seed);
+  const auto set = scn.make_workload(rng);
+  auto config = scn.sim_config(util::Rng::hash_combine(rep_seed, 1000u));
+  config.record_perf_counters = true;
+  const auto battery = exp::make_battery(cell.battery);
 
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = sim::simulate_scheme(set, proc, kind, config,
+                                      battery.get());
+  const auto t1 = std::chrono::steady_clock::now();
+  return {static_cast<double>(r.perf.steps),
+          static_cast<double>(r.perf.battery_draws),
+          static_cast<double>(r.perf.candidates_scored),
+          static_cast<double>(r.perf.scratch_grows),
+          std::chrono::duration<double>(t1 - t0).count()};
+}
+
+CellResult time_cell(const Cell& cell, int sets, std::uint64_t seed) {
   CellResult out;
   out.cell = cell;
   for (int rep = 0; rep < sets; ++rep) {
-    // Same seeding contract as the campaign drivers: the workload and
-    // sim seeds depend only on the replicate, never on the cell.
-    const std::uint64_t rep_seed =
-        util::Rng::hash_combine(seed, static_cast<std::uint64_t>(rep));
-    util::Rng rng(rep_seed);
-    const auto set = scn.make_workload(rng);
-    auto config = scn.sim_config(util::Rng::hash_combine(rep_seed, 1000u));
-    config.record_perf_counters = true;
-    const auto battery = exp::make_battery(cell.battery);
-
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto r = sim::simulate_scheme(set, proc, kind, config,
-                                        battery.get());
-    const auto t1 = std::chrono::steady_clock::now();
-
-    out.elapsed_s += std::chrono::duration<double>(t1 - t0).count();
+    const auto m = time_rep(cell, seed, rep);
     ++out.sims;
-    out.steps += r.perf.steps;
-    out.battery_draws += r.perf.battery_draws;
-    out.candidates_scored += r.perf.candidates_scored;
-    out.scratch_grows += r.perf.scratch_grows;
+    out.steps += static_cast<std::uint64_t>(m[0]);
+    out.battery_draws += static_cast<std::uint64_t>(m[1]);
+    out.candidates_scored += static_cast<std::uint64_t>(m[2]);
+    out.scratch_grows += static_cast<std::uint64_t>(m[3]);
+    out.elapsed_s += m[4];
+  }
+  return out;
+}
+
+/// Campaign mode: the identical cells as per-rep jobs through the full
+/// exp::Runner pipeline (work-stealing pool + async store writer when
+/// --cache is set), folded back into CellResults.
+std::vector<CellResult> run_campaign(const std::vector<Cell>& cells,
+                                     int sets, std::uint64_t seed,
+                                     const exp::RunnerOptions& options) {
+  exp::ExperimentSpec spec;
+  spec.title = "perf-hotpath-campaign";
+  std::vector<std::string> labels;
+  for (const auto& cell : cells) {
+    labels.push_back(cell.scenario + "/" + cell.scheme + "/" + cell.battery);
+  }
+  spec.grid.add("cell", labels);
+  spec.metrics = {"steps", "battery_draws", "candidates_scored",
+                  "scratch_grows", "elapsed_s"};
+  spec.replicates = sets;
+  spec.seed = seed;
+  spec.run = [&cells, seed](const exp::Job& job) {
+    return time_rep(cells[job.cell], seed, job.replicate);
+  };
+  const auto result = exp::Runner(options).run(spec);
+
+  std::vector<CellResult> out;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellResult r;
+    r.cell = cells[c];
+    r.sims = result.at(c, 0).count();
+    r.steps = static_cast<std::uint64_t>(result.sum(c, 0));
+    r.battery_draws = static_cast<std::uint64_t>(result.sum(c, 1));
+    r.candidates_scored = static_cast<std::uint64_t>(result.sum(c, 2));
+    r.scratch_grows = static_cast<std::uint64_t>(result.sum(c, 3));
+    r.elapsed_s = result.sum(c, 4);
+    out.push_back(std::move(r));
   }
   return out;
 }
@@ -290,7 +351,11 @@ int main(int argc, char** argv) {
                    {"json", "BENCH_perf.json"},
                    {"baseline", ""},
                    {"max-regress", "0.30"},
-                   {"write-baseline", ""}});
+                   {"write-baseline", ""},
+                   {"campaign", "false"},
+                   {"jobs", "1"},
+                   {"cache", ""},
+                   {"store", "jsonl"}});
 
     std::vector<std::string> scenarios{"paper-table2", "ippp-diurnal"};
     std::vector<std::string> schemes{"EDF", "laEDF", "BAS-2"};
@@ -313,13 +378,26 @@ int main(int argc, char** argv) {
     std::printf("config: %s\nmode: %s, %d set(s) per cell\n\n",
                 cli.summary().c_str(), mode.c_str(), sets);
 
-    std::vector<CellResult> results;
+    std::vector<Cell> cells;
     for (const auto& scenario : scenarios) {
       for (const auto& battery : batteries) {
         for (const auto& scheme : schemes) {
-          results.push_back(time_cell({scenario, scheme, battery}, sets,
-                                      seed));
+          cells.push_back({scenario, scheme, battery});
         }
+      }
+    }
+
+    std::vector<CellResult> results;
+    if (cli.get_flag("campaign")) {
+      mode += "+campaign";
+      exp::RunnerOptions options;
+      options.jobs = cli.jobs();
+      options.cache_dir = cli.get("cache");
+      options.store_backend = store::backend_from_label(cli.get("store"));
+      results = run_campaign(cells, sets, seed, options);
+    } else {
+      for (const auto& cell : cells) {
+        results.push_back(time_cell(cell, sets, seed));
       }
     }
 

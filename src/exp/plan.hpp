@@ -5,9 +5,9 @@
 // (cell, replicate) Job with its deterministically derived seeds — and a
 // canonical fingerprint of the spec. The fingerprint covers everything
 // that determines job outputs (title, axes, metric names, replicates,
-// root seed), so it keys the resume cache (cache.hpp): change the grid
-// or the seed and previously cached rows are ignored rather than served
-// as wrong results.
+// root seed), so it keys the campaign store (store/store.hpp): change
+// the grid or the seed and previously stored rows are ignored rather
+// than served as wrong results.
 //
 // Cross-process sharding partitions the manifest round-robin: shard i of
 // n owns the jobs whose index ≡ i (mod n). Because replicates of a cell

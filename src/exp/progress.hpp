@@ -7,13 +7,16 @@
 //   <title>: 128/1024 jobs (12.5%), elapsed 42.0s, eta 294.1s
 //
 // to stderr, throttled to one line per half second plus a final line at
-// completion. stdout is untouched, so tables and CSV byte-compare
+// completion. A stats hook (set_stats) appends a caller-supplied suffix
+// — the runner uses it for the async writer's queue depth/stall
+// counters. stdout is untouched, so tables and CSV byte-compare
 // regardless of whether reporting is on. tick() is thread-safe and,
 // when disabled, a single atomic increment.
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -29,8 +32,14 @@ class Progress {
   void tick();
 
   /// Prints `text` to stderr when enabled — for one-off notes like the
-  /// cache-resume summary.
+  /// store-resume summary.
   void note(const std::string& text) const;
+
+  /// Installs (or, with an empty function, removes) a supplier whose
+  /// string is appended to each heartbeat line, e.g. the writer-queue
+  /// stats. The supplier is called under the print throttle, at most
+  /// twice a second — it may take its own locks.
+  void set_stats(std::function<std::string()> stats);
 
   std::size_t done() const noexcept {
     return done_.load(std::memory_order_relaxed);
@@ -42,6 +51,7 @@ class Progress {
   bool enabled_ = false;
   std::atomic<std::size_t> done_{0};
   std::mutex print_mutex_;
+  std::function<std::string()> stats_;  ///< guarded by print_mutex_
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point last_print_;
 };

@@ -3,38 +3,55 @@
 //
 //  plan     A Plan (plan.hpp) materializes the job manifest — indices,
 //           coordinates, seeds — and the spec fingerprint that keys the
-//           resume cache.
+//           campaign store.
 //  execute  The worker pool runs only the jobs selected by the optional
-//           shard partition and not already present in the resume cache
-//           (cache.hpp); fresh results are appended to the cache as they
-//           finish, and a Progress reporter (progress.hpp) heartbeats to
-//           stderr.
-//  collect  The job-order fold merges cached and freshly computed
+//           shard partition and not already present in the campaign
+//           store (store/store.hpp). Jobs are claimed from per-worker
+//           ranges with work stealing, so uneven cell costs never leave
+//           a thread idle; finished metrics are handed to an async
+//           writer (store/async_writer.hpp) whose consumer thread
+//           batches them into the backend — workers never pay a
+//           write+flush. A Progress reporter (progress.hpp) heartbeats
+//           jobs/ETA plus the writer-queue stats to stderr.
+//  collect  The job-order fold merges stored and freshly computed
 //           metrics into an ExperimentResult. Because %.17g round-trips
-//           doubles exactly, a result folded from any mix of cache hits,
-//           shard partials and live jobs is byte-identical to a fresh
-//           single-process run.
+//           doubles exactly (both backends store that rendering), a
+//           result folded from any mix of store hits, shard partials
+//           and live jobs is byte-identical to a fresh single-process
+//           run — on either backend.
 //
 // Two properties are guaranteed:
 //
-//  1. Determinism for any thread count, shard split or resume history.
-//     Job seeds are pure functions of grid coordinates (job.hpp), each
-//     job's metrics land in a slot indexed by job id, and the fold
-//     happens after the pool drains, in job order.
+//  1. Determinism for any thread count, shard split, store backend or
+//     resume history. Job seeds are pure functions of grid coordinates
+//     (job.hpp), each job's metrics land in a slot indexed by job id,
+//     and the fold happens after the pool drains, in job order — work
+//     stealing changes who computes a job, never what it computes or
+//     where it lands.
 //  2. Isolation. The spec's run function receives only the Job; it is
 //     expected to build its own Scheme / Battery / TaskGraphSet, so no
 //     mutable state is shared between workers.
 //
+// Robustness: a per-job deadline (job_timeout_s) and bounded retries
+// with exponential backoff (job_attempts) guard long campaigns against
+// hung or flaky cells; with keep_going, a job that still fails is
+// recorded in the store as an error row and the shard carries on —
+// resumed runs re-execute failed jobs rather than trusting the
+// failure.
+//
 // Cluster fan-out: run shard i with `{.shard = Shard{i, n},
 // .cache_dir = DIR}` on n machines sharing DIR (or copy the shard files
 // together afterwards), then fold everything with `{.merge_only = true,
-// .cache_dir = DIR}`.
+// .cache_dir = DIR}`. With `.store_backend = Backend::kSqlite` the
+// shards upsert into one `campaign.sqlite` and the merge is a query.
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
 #include "exp/experiment.hpp"
 #include "exp/plan.hpp"
+#include "store/store.hpp"
 
 namespace bas::util {
 class Cli;
@@ -46,24 +63,46 @@ struct RunnerOptions {
   /// Worker threads; <= 0 selects std::thread::hardware_concurrency().
   int jobs = 1;
   /// When set, execute only the jobs of this slice of the round-robin
-  /// partition; the collected result covers just those jobs unless a
-  /// cache supplies the rest.
+  /// partition; the collected result covers just those jobs unless the
+  /// store supplies the rest.
   std::optional<Shard> shard;
-  /// When non-empty, load previously cached jobs from this directory
-  /// instead of recomputing them, and append fresh results to it.
+  /// When non-empty, load previously stored jobs from this campaign
+  /// store directory instead of recomputing them, and append fresh
+  /// results to it.
   std::string cache_dir;
-  /// Execute nothing: fold the complete result from the cache alone.
-  /// Requires cache_dir; throws when any job is missing.
+  /// Which backend reads and writes cache_dir: the append-only JSONL
+  /// cache (default) or the SQLite database. Both store %.17g doubles,
+  /// so merge output is byte-identical across backends.
+  store::Backend store_backend = store::Backend::kJsonl;
+  /// Bound of the async writer's ring buffer (records). A full ring
+  /// blocks producers (backpressure) rather than dropping records.
+  std::size_t writer_queue_capacity = 1024;
+  /// Execute nothing: fold the complete result from the store alone.
+  /// Requires cache_dir; throws when any job is missing (unless
+  /// keep_going tolerates jobs recorded as failed).
   bool merge_only = false;
-  /// Before loading the cache, rewrite the directory in place:
-  /// dedupe re-run jobs and drop records whose fingerprint does not
-  /// match this spec (exp::compact_cache). Requires cache_dir, and is
-  /// rejected together with a shard — sibling shard processes may
-  /// still be appending, and compaction removes other writers' files.
-  /// Composes with merging (compact-then-merge) and resuming.
+  /// Before loading, rewrite the store in place: dedupe re-run jobs,
+  /// drop records whose fingerprint does not match this spec, VACUUM
+  /// the sqlite backend (store::compact_store). Requires cache_dir,
+  /// refuses when another live writer process holds the directory, and
+  /// is rejected together with a shard — sibling shard processes may
+  /// still be appending. Composes with merging and resuming.
   bool compact_cache = false;
-  /// Report jobs-done/total and ETA to stderr while executing.
+  /// Report jobs-done/total, ETA and writer-queue stats to stderr
+  /// while executing.
   bool progress = false;
+  /// Per-job wall-clock deadline in seconds; 0 disables. A job past
+  /// its deadline counts as a failed attempt (the runner stops waiting
+  /// for it; the abandoned attempt finishes on a detached thread).
+  double job_timeout_s = 0.0;
+  /// Attempts per job (>= 1). Failed attempts retry with exponential
+  /// backoff starting at retry_backoff_s.
+  int job_attempts = 1;
+  double retry_backoff_s = 0.05;
+  /// When a job exhausts its attempts: record an error row in the
+  /// store and carry on (true) instead of aborting the run (false).
+  /// Cells with failed jobs aggregate the replicates that succeeded.
+  bool keep_going = false;
 };
 
 class Runner {
@@ -72,10 +111,11 @@ class Runner {
 
   /// Runs the spec's campaign. Throws std::invalid_argument on a
   /// malformed spec (no run function, no metrics, replicates < 1) or an
-  /// inconsistent option set (merge without a cache, merge with a
-  /// shard), and std::runtime_error when a job throws or returns the
-  /// wrong number of metrics — the message names the failing job's grid
-  /// coordinates and replicate; remaining jobs are abandoned.
+  /// inconsistent option set (merge without a store, merge with a
+  /// shard, job_attempts < 1), and std::runtime_error when a job fails
+  /// permanently without keep_going or the store cannot be written —
+  /// the message names the failing job's grid coordinates and
+  /// replicate; remaining jobs are abandoned.
   ExperimentResult run(const ExperimentSpec& spec) const;
 
  private:
@@ -90,10 +130,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
                                 const RunnerOptions& options);
 
 /// Builds RunnerOptions from the shared bench flags (--jobs, --shard,
-/// --cache, --cache-compact, --merge, --progress; see
+/// --cache, --store, --cache-compact, --merge, --progress,
+/// --job-timeout, --job-attempts, --keep-going; see
 /// util::Cli::with_bench_defaults).
-/// Throws std::runtime_error on a malformed --shard; cross-option
-/// consistency (--merge needs --cache, ...) is enforced by Runner::run.
+/// Throws std::runtime_error on a malformed --shard or --store;
+/// cross-option consistency (--merge needs --cache, ...) is enforced
+/// by Runner::run.
 RunnerOptions options_from_cli(const util::Cli& cli);
 
 }  // namespace bas::exp

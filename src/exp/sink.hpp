@@ -14,9 +14,10 @@
 namespace bas::exp {
 
 /// The engine's canonical double rendering: %.17g, the shortest fixed
-/// precision that round-trips every finite double. The sinks AND the
-/// resume cache (cache.hpp) must share it — the shard/merge/resume
-/// byte-identity contract breaks if their precisions ever diverge.
+/// precision that round-trips every finite double. The sinks AND both
+/// campaign-store backends (store/store.hpp) must share it — the
+/// shard/merge/resume byte-identity contract breaks if their precisions
+/// ever diverge.
 std::string format_double(double value);
 
 /// Long-format CSV: header `axis...,metric_stat...`, one row per cell.

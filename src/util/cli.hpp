@@ -30,15 +30,27 @@ class Cli {
   ///   --csv PATH   write aggregated cells as CSV (.json for JSON)
   ///   --shard i/n  execute only slice i of an n-way deterministic job
   ///                partition (cluster fan-out; pair with --cache)
-  ///   --cache DIR  resume cache: skip jobs already recorded under DIR,
-  ///                append fresh results as they finish
+  ///   --cache DIR  campaign store: skip jobs already recorded under
+  ///                DIR, append fresh results as they finish
+  ///   --store B    store backend under --cache: "jsonl" (append-only
+  ///                files, the default) or "sqlite" (one shared
+  ///                campaign.sqlite); merge output is byte-identical
+  ///                across backends
   ///   --cache-compact
-  ///                before loading, rewrite the cache dir in place:
-  ///                dedupe re-run jobs, drop stale-fingerprint records
-  ///                (requires --cache; composes with --merge)
-  ///   --merge      fold the complete result from the cache alone
+  ///                before loading, rewrite the store in place: dedupe
+  ///                re-run jobs, drop stale-fingerprint records, VACUUM
+  ///                sqlite (requires --cache; composes with --merge;
+  ///                refuses while another writer process is live)
+  ///   --merge      fold the complete result from the store alone
   ///                (combines shard outputs; requires --cache)
-  ///   --progress   report jobs-done/total and ETA to stderr
+  ///   --progress   report jobs-done/total, ETA and writer-queue stats
+  ///                to stderr
+  ///   --job-timeout S
+  ///                per-job wall-clock deadline in seconds (0 = off)
+  ///   --job-attempts N
+  ///                attempts per job before it counts as failed
+  ///   --keep-going record permanently failed jobs as error rows and
+  ///                finish the shard instead of aborting
   static std::map<std::string, std::string> with_bench_defaults(
       std::map<std::string, std::string> defaults);
 
@@ -63,13 +75,14 @@ class Cli {
   std::string summary() const;
 
   /// summary() minus the engine/campaign flags (--jobs, --csv, --shard,
-  /// --cache, --merge, --progress, --list-scenarios) and minus options
+  /// --cache, --store, --merge, --progress, --job-timeout,
+  /// --job-attempts, --keep-going, --list-scenarios) and minus options
   /// whose value is empty (unset optional settings, e.g. unused
   /// --scenario.FIELD overrides) — exactly the options that can alter
-  /// job outputs. Feed it to ExperimentSpec::config so the resume cache
-  /// is invalidated when any driver parameter changes, while sharded,
-  /// resumed and differently-threaded runs of one sweep still share a
-  /// fingerprint.
+  /// job outputs. Feed it to ExperimentSpec::config so the campaign
+  /// store is invalidated when any driver parameter changes, while
+  /// sharded, resumed, differently-threaded and differently-backed runs
+  /// of one sweep still share a fingerprint.
   std::string config_summary() const;
 
  private:

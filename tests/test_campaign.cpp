@@ -1,24 +1,28 @@
 // Tests for the campaign layer: plan/fingerprint, shard partition,
-// resume cache (%.17g round trip, stale invalidation), merge collection
-// and the coordinate-bearing runner error reports.
+// store-backed resume, merge collection, job timeout/retry/keep-going
+// robustness, work-stealing determinism and the coordinate-bearing
+// runner error reports. The store subsystem itself (backends, async
+// writer, compaction) is covered by test_store.cpp.
 
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "exp/cache.hpp"
 #include "exp/plan.hpp"
 #include "exp/runner.hpp"
 #include "exp/sink.hpp"
+#include "store/jsonl.hpp"
+#include "store/store.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
@@ -39,7 +43,7 @@ struct TempDir {
 };
 
 /// A cheap spec whose metrics are awkward doubles (hash-derived, full
-/// mantissas) — exactly what must survive the cache's text round trip.
+/// mantissas) — exactly what must survive the store's text round trip.
 exp::ExperimentSpec awkward_spec() {
   exp::ExperimentSpec spec;
   spec.title = "awkward";
@@ -168,201 +172,6 @@ TEST(Plan, RejectsMalformedSpecs) {
   EXPECT_THROW(exp::Plan{spec}, std::invalid_argument);
 }
 
-// ---------------------------------------------------------------- cache
-
-TEST(Cache, RoundTripsDoublesBitwise) {
-  TempDir dir("roundtrip");
-  const std::vector<double> metrics{1.0 / 3.0,  -0.0, 5e-324,
-                                    1.7976931348623157e308, 0.1,
-                                    123456789.123456789};
-  {
-    exp::ResultCache cache(dir.path, 0xabcdefULL, "");
-    cache.append(7, metrics);
-  }
-  exp::ResultCache cache(dir.path, 0xabcdefULL, "");
-  const auto loaded = cache.load(metrics.size());
-  ASSERT_EQ(loaded.size(), 1u);
-  ASSERT_TRUE(loaded.count(7));
-  ASSERT_EQ(loaded.at(7).size(), metrics.size());
-  EXPECT_EQ(0, std::memcmp(loaded.at(7).data(), metrics.data(),
-                           metrics.size() * sizeof(double)));
-}
-
-TEST(Cache, IgnoresOtherFingerprintsTornLinesAndWrongArity) {
-  TempDir dir("filter");
-  exp::ResultCache mine(dir.path, 0x1111ULL, "");
-  mine.append(0, {1.0, 2.0});
-  exp::ResultCache other(dir.path, 0x2222ULL, "");
-  other.append(1, {3.0, 4.0});
-  mine.append(2, {5.0});  // wrong arity for a 2-metric load
-  {
-    std::ofstream torn(dir.path + "/torn.jsonl", std::ios::app);
-    torn << "{\"fp\":\"" << exp::fingerprint_hex(0x1111ULL)
-         << "\",\"job\":9,\"metrics\":[1.0";  // no closing brace/newline
-  }
-  const auto loaded = mine.load(2);
-  ASSERT_EQ(loaded.size(), 1u);
-  EXPECT_TRUE(loaded.count(0));
-}
-
-TEST(Cache, AppendHealsATornTailBeforeWriting) {
-  TempDir dir("torn-tail");
-  const std::string fp = exp::fingerprint_hex(0x4444ULL);
-  exp::ResultCache probe(dir.path, 0x4444ULL, "");
-  {
-    // A killed writer's file: a complete record, then a torn line with
-    // no trailing newline.
-    std::ofstream file(probe.write_path());
-    file << "{\"fp\":\"" << fp << "\",\"job\":0,\"metrics\":[1]}\n";
-    file << "{\"fp\":\"" << fp << "\",\"job\":5,\"metrics\":";
-  }
-  exp::ResultCache cache(dir.path, 0x4444ULL, "");
-  cache.append(9, {7.0});
-  const auto loaded = cache.load(1);
-  // The torn job-5 line must stay torn (skipped), never absorb job 9's
-  // metrics; jobs 0 and 9 survive.
-  ASSERT_EQ(loaded.size(), 2u);
-  EXPECT_TRUE(loaded.count(0));
-  ASSERT_TRUE(loaded.count(9));
-  EXPECT_EQ(loaded.at(9), std::vector<double>{7.0});
-  EXPECT_FALSE(loaded.count(5));
-}
-
-TEST(Cache, SeparateWriterTagsSeparateFiles) {
-  TempDir dir("tags");
-  exp::ResultCache s0(dir.path, 0x3333ULL, "s0of2");
-  exp::ResultCache s1(dir.path, 0x3333ULL, "s1of2");
-  EXPECT_NE(s0.write_path(), s1.write_path());
-  s0.append(0, {1.0});
-  s1.append(1, {2.0});
-  EXPECT_EQ(s0.load(1).size(), 2u);  // load pools every file in the dir
-}
-
-// ----------------------------------------------------- cache compaction
-
-TEST(Compaction, DedupesReRunJobsAndDropsStaleFingerprints) {
-  TempDir dir("compact");
-  // Two writers of the live fingerprint re-ran job 0 (dupes), a third
-  // file holds a dead campaign's records, and one torn tail.
-  exp::ResultCache w0(dir.path, 0xAAAAULL, "s0of2");
-  exp::ResultCache w1(dir.path, 0xAAAAULL, "s1of2");
-  exp::ResultCache stale(dir.path, 0xBBBBULL, "");
-  w0.append(0, {1.0, 2.0});
-  w0.append(2, {3.0, 4.0});
-  w1.append(0, {1.5, 2.5});  // job 0 re-run by the other shard
-  w1.append(1, {5.0, 6.0});
-  stale.append(0, {9.0, 9.0});
-  stale.append(7, {9.0, 9.0});
-  {
-    std::ofstream torn(w0.write_path(), std::ios::app);
-    torn << "{\"fp\":\"" << exp::fingerprint_hex(0xAAAAULL)
-         << "\",\"job\":3,\"metrics\":";
-  }
-
-  // The invariant: a load() after compaction serves exactly what a
-  // load() before it would have (same last-wins winners).
-  const auto before = exp::ResultCache(dir.path, 0xAAAAULL, "").load(2);
-  const auto stats = exp::compact_cache(dir.path, 0xAAAAULL, 2);
-  const auto after = exp::ResultCache(dir.path, 0xAAAAULL, "").load(2);
-  EXPECT_EQ(before, after);
-  ASSERT_EQ(after.size(), 3u);  // jobs 0, 1, 2 — no stale job 7, no torn 3
-
-  EXPECT_EQ(stats.files_scanned, 3u);
-  EXPECT_EQ(stats.files_removed, 3u);
-  EXPECT_EQ(stats.records_seen, 7u);  // 5 live-fp-file lines + 2 stale
-  EXPECT_EQ(stats.records_kept, 3u);
-
-  // One canonical file remains; the dead campaign's records are gone.
-  std::size_t files = 0;
-  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
-    ++files;
-    EXPECT_EQ(entry.path().filename().string(),
-              exp::fingerprint_hex(0xAAAAULL) + ".jsonl");
-  }
-  EXPECT_EQ(files, 1u);
-  EXPECT_TRUE(exp::ResultCache(dir.path, 0xBBBBULL, "").load(2).empty());
-}
-
-TEST(Compaction, MissingOrEmptyDirectoryIsANoop) {
-  const auto none =
-      exp::compact_cache("/nonexistent/bas-compact-test", 0x1ULL, 2);
-  EXPECT_EQ(none.files_scanned, 0u);
-  EXPECT_EQ(none.records_kept, 0u);
-
-  TempDir dir("compact-empty");
-  std::filesystem::create_directories(dir.path);
-  exp::ResultCache stale(dir.path, 0xBBBBULL, "");
-  stale.append(0, {1.0});
-  // Nothing matches the live fingerprint: old files are removed and no
-  // compacted file is written.
-  const auto stats = exp::compact_cache(dir.path, 0xAAAAULL, 1);
-  EXPECT_EQ(stats.records_kept, 0u);
-  EXPECT_EQ(stats.files_removed, 1u);
-  EXPECT_TRUE(std::filesystem::is_empty(dir.path));
-}
-
-TEST(Compaction, CompactedCacheRoundTripsThroughMergeBitwise) {
-  TempDir dir("compact-merge");
-  const auto spec = awkward_spec();
-  const auto fresh = exp::run_experiment(spec, 4);
-
-  // Populate via two shards, plus a duplicate re-run of shard 0 under a
-  // different writer tag so the directory really holds re-run jobs.
-  for (int s = 0; s < 2; ++s) {
-    exp::RunnerOptions options;
-    options.jobs = 2;
-    options.shard = exp::Shard{s, 2};
-    options.cache_dir = dir.path;
-    exp::run_experiment(spec, options);
-  }
-  {
-    const exp::Plan plan(spec);
-    exp::ResultCache dupes(dir.path, plan.fingerprint(), "rerun");
-    dupes.append(0, spec.run(plan.job(0)));
-  }
-
-  exp::RunnerOptions merge;
-  merge.merge_only = true;
-  merge.compact_cache = true;
-  merge.cache_dir = dir.path;
-  const auto merged = exp::run_experiment(spec, merge);
-  expect_bitwise_equal(fresh, merged);
-
-  std::size_t files = 0;
-  for ([[maybe_unused]] const auto& entry :
-       std::filesystem::directory_iterator(dir.path)) {
-    ++files;
-  }
-  EXPECT_EQ(files, 1u);
-
-  // A second compact + resume run over the compacted dir still has
-  // every job cached and folds to the same bytes.
-  exp::RunnerOptions resume;
-  resume.jobs = 4;
-  resume.compact_cache = true;
-  resume.cache_dir = dir.path;
-  expect_bitwise_equal(fresh, exp::run_experiment(spec, resume));
-}
-
-TEST(Compaction, WithoutCacheDirIsRejected) {
-  exp::RunnerOptions options;
-  options.compact_cache = true;
-  EXPECT_THROW(exp::run_experiment(awkward_spec(), options),
-               std::invalid_argument);
-}
-
-TEST(Compaction, FromAShardIsRejected) {
-  // A shard is one of several concurrent writers; compacting from it
-  // would delete its siblings' in-flight files.
-  TempDir dir("compact-shard");
-  exp::RunnerOptions options;
-  options.compact_cache = true;
-  options.cache_dir = dir.path;
-  options.shard = exp::Shard{0, 2};
-  EXPECT_THROW(exp::run_experiment(awkward_spec(), options),
-               std::invalid_argument);
-}
-
 // --------------------------------------------- sharded + resumed runs
 
 TEST(Campaign, ShardsMergeBitIdenticalToUnsharded) {
@@ -384,12 +193,12 @@ TEST(Campaign, ShardsMergeBitIdenticalToUnsharded) {
   expect_bitwise_equal(fresh, merged);
 }
 
-TEST(Campaign, CacheResumeMatchesFreshRunAndSkipsCachedJobs) {
+TEST(Campaign, StoreResumeMatchesFreshRunAndSkipsStoredJobs) {
   TempDir dir("resume");
   auto spec = awkward_spec();
   const auto fresh = exp::run_experiment(spec, 4);
 
-  // Interrupted stand-in: only shard 0/2 reached the cache.
+  // Interrupted stand-in: only shard 0/2 reached the store.
   exp::RunnerOptions first;
   first.jobs = 2;
   first.shard = exp::Shard{0, 2};
@@ -409,14 +218,14 @@ TEST(Campaign, CacheResumeMatchesFreshRunAndSkipsCachedJobs) {
   expect_bitwise_equal(fresh, resumed);
   EXPECT_EQ(executed.load(), spec.job_count() / 2);
 
-  // A second resume finds everything cached and executes nothing.
+  // A second resume finds everything stored and executes nothing.
   executed = 0;
   const auto again = exp::run_experiment(spec, resume);
   expect_bitwise_equal(fresh, again);
   EXPECT_EQ(executed.load(), 0u);
 }
 
-TEST(Campaign, StaleFingerprintInvalidatesTheCache) {
+TEST(Campaign, StaleFingerprintInvalidatesTheStore) {
   TempDir dir("stale");
   auto spec = awkward_spec();
   exp::RunnerOptions options;
@@ -458,6 +267,23 @@ TEST(Campaign, MergeReportsMissingJobs) {
   }
 }
 
+TEST(Campaign, MergeWithKeepGoingFoldsThePartialResult) {
+  TempDir dir("partial-merge");
+  const auto spec = awkward_spec();
+  exp::RunnerOptions shard0;
+  shard0.shard = exp::Shard{0, 2};
+  shard0.cache_dir = dir.path;
+  const auto partial = exp::run_experiment(spec, shard0);
+
+  exp::RunnerOptions merge;
+  merge.merge_only = true;
+  merge.cache_dir = dir.path;
+  merge.keep_going = true;
+  const auto merged = exp::run_experiment(spec, merge);
+  // Exactly the shard's half is folded, bit-identically.
+  expect_bitwise_equal(partial, merged);
+}
+
 TEST(Campaign, MergeIsNotFooledByOutOfRangeRecords) {
   TempDir dir("padding");
   const auto spec = awkward_spec();
@@ -466,12 +292,16 @@ TEST(Campaign, MergeIsNotFooledByOutOfRangeRecords) {
   shard0.cache_dir = dir.path;
   exp::run_experiment(spec, shard0);
 
-  // Pad the cache with matching-fingerprint records whose job indices
+  // Pad the store with matching-fingerprint records whose job indices
   // are out of range, so the record count reaches job_count() while
   // every odd job is still missing.
-  exp::ResultCache padding(dir.path, exp::spec_fingerprint(spec), "bogus");
-  for (std::size_t i = 0; i < spec.job_count(); ++i) {
-    padding.append(spec.job_count() + i, {1.0, 2.0});
+  {
+    store::JsonlStore padding(dir.path, exp::spec_fingerprint(spec), "bogus");
+    std::vector<store::StoreRecord> batch;
+    for (std::size_t i = 0; i < spec.job_count(); ++i) {
+      batch.push_back({spec.job_count() + i, {1.0, 2.0}, ""});
+    }
+    padding.append(batch);
   }
 
   exp::RunnerOptions merge;
@@ -480,7 +310,7 @@ TEST(Campaign, MergeIsNotFooledByOutOfRangeRecords) {
   EXPECT_THROW(exp::run_experiment(spec, merge), std::runtime_error);
 }
 
-TEST(Campaign, MergeWithoutCacheOrWithShardIsRejected) {
+TEST(Campaign, MergeWithoutStoreOrWithShardIsRejected) {
   const auto spec = awkward_spec();
   exp::RunnerOptions merge;
   merge.merge_only = true;
@@ -500,6 +330,184 @@ TEST(Campaign, ShardRunAloneYieldsPartialCells) {
     samples += partial.at(c, 0).count();
   }
   EXPECT_EQ(samples, (spec.job_count() + 1) / 2);
+}
+
+// -------------------------------------------- work-stealing execution
+
+TEST(Campaign, UnevenCellCostsFoldBitIdenticalAcrossThreadCounts) {
+  // Strongly skewed per-cell cost exercises the stealing path: the
+  // worker owning the expensive range loses its remaining jobs to idle
+  // threads. The fold must not care.
+  auto spec = awkward_spec();
+  const auto inner = spec.run;
+  spec.run = [inner](const exp::Job& job) {
+    if (job.cell == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return inner(job);
+  };
+  const auto serial = exp::run_experiment(spec, 1);
+  for (const int jobs : {2, 4, 8}) {
+    expect_bitwise_equal(serial, exp::run_experiment(spec, jobs));
+  }
+}
+
+TEST(Campaign, EveryJobExecutesExactlyOnceUnderStealing) {
+  auto spec = awkward_spec();
+  std::vector<std::atomic<int>> executions(spec.job_count());
+  const auto inner = spec.run;
+  spec.run = [&executions, inner](const exp::Job& job) {
+    executions[job.index].fetch_add(1);
+    return inner(job);
+  };
+  exp::run_experiment(spec, 8);
+  for (std::size_t i = 0; i < executions.size(); ++i) {
+    EXPECT_EQ(executions[i].load(), 1) << "job " << i;
+  }
+}
+
+// ------------------------------------- timeout, retry and keep-going
+
+TEST(Campaign, FlakyJobSucceedsWithinItsRetryBudget) {
+  auto spec = awkward_spec();
+  std::atomic<int> failures{0};
+  const auto inner = spec.run;
+  spec.run = [&failures, inner](const exp::Job& job) {
+    // Job 5 fails twice before succeeding.
+    if (job.index == 5 && failures.load() < 2) {
+      failures.fetch_add(1);
+      throw std::runtime_error("transient");
+    }
+    return inner(job);
+  };
+  exp::RunnerOptions options;
+  options.jobs = 2;
+  options.job_attempts = 3;
+  options.retry_backoff_s = 0.001;
+  const auto retried = exp::run_experiment(spec, options);
+  EXPECT_EQ(failures.load(), 2);
+  expect_bitwise_equal(exp::run_experiment(awkward_spec(), 1), retried);
+}
+
+TEST(Campaign, ExhaustedRetriesReportTheAttemptCount) {
+  auto spec = awkward_spec();
+  spec.run = [](const exp::Job& job) -> std::vector<double> {
+    if (job.index == 3) {
+      throw std::runtime_error("permanent");
+    }
+    return {0.0, 0.0};
+  };
+  exp::RunnerOptions options;
+  options.job_attempts = 2;
+  options.retry_backoff_s = 0.001;
+  try {
+    exp::run_experiment(spec, options);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("job 3"), std::string::npos) << message;
+    EXPECT_NE(message.find("permanent"), std::string::npos) << message;
+    EXPECT_NE(message.find("2 attempts"), std::string::npos) << message;
+  }
+}
+
+TEST(Campaign, TimedOutJobFailsWithADeadlineError) {
+  auto spec = awkward_spec();
+  auto release = std::make_shared<std::atomic<bool>>(false);
+  const auto inner = spec.run;
+  spec.run = [release, inner](const exp::Job& job) {
+    if (job.index == 2) {
+      while (!release->load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return inner(job);
+  };
+  exp::RunnerOptions options;
+  options.job_timeout_s = 0.05;
+  try {
+    exp::run_experiment(spec, options);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("job 2"), std::string::npos) << message;
+    EXPECT_NE(message.find("deadline"), std::string::npos) << message;
+  }
+  // Let the abandoned attempt's detached thread finish before the test
+  // (and its spec) go away.
+  release->store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+TEST(Campaign, KeepGoingRecordsErrorRowsAndFinishesTheShard) {
+  TempDir dir("keep-going");
+  auto spec = awkward_spec();
+  const auto inner = spec.run;
+  spec.run = [inner](const exp::Job& job) -> std::vector<double> {
+    if (job.index == 4) {
+      throw std::runtime_error("cell on fire");
+    }
+    return inner(job);
+  };
+  exp::RunnerOptions options;
+  options.jobs = 2;
+  options.cache_dir = dir.path;
+  options.keep_going = true;
+  const auto partial = exp::run_experiment(spec, options);
+
+  // Job 4 is replicate 1 of cell 1: that cell aggregates 2 samples.
+  EXPECT_EQ(partial.at(1, 0).count(), 2u);
+  EXPECT_EQ(partial.at(0, 0).count(), 3u);
+
+  // The failure is an error row, visible to merge diagnostics...
+  {
+    store::JsonlStore probe(dir.path, exp::spec_fingerprint(spec), "probe");
+    const auto errors = probe.load_errors();
+    ASSERT_EQ(errors.size(), 1u);
+    ASSERT_TRUE(errors.count(4));
+    EXPECT_NE(errors.at(4).find("cell on fire"), std::string::npos);
+    EXPECT_EQ(probe.load(2).size(), spec.job_count() - 1);
+  }
+
+  // ...and merge without keep_going names the failed job.
+  exp::RunnerOptions merge;
+  merge.merge_only = true;
+  merge.cache_dir = dir.path;
+  try {
+    exp::run_experiment(spec, merge);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("recorded as failed"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("cell on fire"), std::string::npos) << message;
+  }
+
+  // A resume with the failure fixed re-executes exactly the failed job
+  // (error rows are never served as results) and completes the store.
+  std::atomic<std::size_t> executed{0};
+  auto fixed = awkward_spec();
+  const auto fixed_inner = fixed.run;
+  fixed.run = [&executed, fixed_inner](const exp::Job& job) {
+    executed.fetch_add(1);
+    return fixed_inner(job);
+  };
+  exp::RunnerOptions resume;
+  resume.cache_dir = dir.path;
+  const auto resumed = exp::run_experiment(fixed, resume);
+  EXPECT_EQ(executed.load(), 1u);
+  expect_bitwise_equal(exp::run_experiment(awkward_spec(), 1), resumed);
+}
+
+TEST(Campaign, InvalidRobustnessOptionsAreRejected) {
+  exp::RunnerOptions options;
+  options.job_attempts = 0;
+  EXPECT_THROW(exp::run_experiment(awkward_spec(), options),
+               std::invalid_argument);
+  options = {};
+  options.job_timeout_s = -1.0;
+  EXPECT_THROW(exp::run_experiment(awkward_spec(), options),
+               std::invalid_argument);
 }
 
 // ----------------------------------------------------- error reporting
@@ -545,19 +553,26 @@ TEST(Campaign, ArityErrorsCarryCoordinatesToo) {
 // ------------------------------------------------------ CLI threading
 
 TEST(Campaign, OptionsFromCliParseTheCampaignFlags) {
-  const char* argv[] = {"bench",   "--jobs", "3",          "--shard",
-                        "1/4",     "--cache", "/tmp/c",    "--progress",
-                        "--cache-compact"};
-  util::Cli cli(9, argv, util::Cli::with_bench_defaults({}));
+  const char* argv[] = {"bench",        "--jobs",   "3",
+                        "--shard",      "1/4",      "--cache",
+                        "/tmp/c",       "--progress", "--cache-compact",
+                        "--store",      "sqlite",   "--job-timeout",
+                        "2.5",          "--job-attempts", "3",
+                        "--keep-going"};
+  util::Cli cli(16, argv, util::Cli::with_bench_defaults({}));
   const auto options = exp::options_from_cli(cli);
   EXPECT_EQ(options.jobs, 3);
   ASSERT_TRUE(options.shard.has_value());
   EXPECT_EQ(options.shard->index, 1);
   EXPECT_EQ(options.shard->count, 4);
   EXPECT_EQ(options.cache_dir, "/tmp/c");
+  EXPECT_EQ(options.store_backend, store::Backend::kSqlite);
   EXPECT_FALSE(options.merge_only);
   EXPECT_TRUE(options.compact_cache);
   EXPECT_TRUE(options.progress);
+  EXPECT_DOUBLE_EQ(options.job_timeout_s, 2.5);
+  EXPECT_EQ(options.job_attempts, 3);
+  EXPECT_TRUE(options.keep_going);
 }
 
 TEST(Campaign, OptionsFromCliDefaultsAreInert) {
@@ -566,12 +581,22 @@ TEST(Campaign, OptionsFromCliDefaultsAreInert) {
   const auto options = exp::options_from_cli(cli);
   EXPECT_FALSE(options.shard.has_value());
   EXPECT_TRUE(options.cache_dir.empty());
+  EXPECT_EQ(options.store_backend, store::Backend::kJsonl);
   EXPECT_FALSE(options.merge_only);
   EXPECT_FALSE(options.compact_cache);
   EXPECT_FALSE(options.progress);
+  EXPECT_DOUBLE_EQ(options.job_timeout_s, 0.0);
+  EXPECT_EQ(options.job_attempts, 1);
+  EXPECT_FALSE(options.keep_going);
 }
 
-TEST(Campaign, MergeWithoutCacheFromCliIsRejectedByTheRunner) {
+TEST(Campaign, UnknownStoreBackendIsRejected) {
+  const char* argv[] = {"bench", "--store", "parquet"};
+  util::Cli cli(3, argv, util::Cli::with_bench_defaults({}));
+  EXPECT_THROW(exp::options_from_cli(cli), std::runtime_error);
+}
+
+TEST(Campaign, MergeWithoutStoreFromCliIsRejectedByTheRunner) {
   const char* argv[] = {"bench", "--merge"};
   util::Cli cli(2, argv, util::Cli::with_bench_defaults({}));
   EXPECT_THROW(exp::run_experiment(awkward_spec(), exp::options_from_cli(cli)),
@@ -597,15 +622,20 @@ TEST(Campaign, ConfigEntersTheFingerprint) {
 }
 
 TEST(Campaign, ConfigSummaryExcludesEngineFlags) {
-  const char* argv_a[] = {"bench",   "--battery", "kibam", "--jobs",
-                          "7",       "--shard",   "0/2",   "--cache",
-                          "dir",     "--progress", "--cache-compact"};
-  util::Cli a(11, argv_a,
+  const char* argv_a[] = {"bench",      "--battery",     "kibam",
+                          "--jobs",     "7",             "--shard",
+                          "0/2",        "--cache",       "dir",
+                          "--progress", "--cache-compact", "--store",
+                          "sqlite",     "--job-timeout", "3",
+                          "--job-attempts", "2",         "--keep-going"};
+  util::Cli a(18, argv_a,
               util::Cli::with_bench_defaults({{"battery", "kibam"}}));
   const char* argv_b[] = {"bench", "--battery", "kibam"};
   util::Cli b(3, argv_b,
               util::Cli::with_bench_defaults({{"battery", "kibam"}}));
-  // Campaign/engine flags must not perturb the sweep identity...
+  // Campaign/engine flags must not perturb the sweep identity — a
+  // store full of results stays valid when the backend or the retry
+  // policy changes...
   EXPECT_EQ(a.config_summary(), b.config_summary());
   // ...but driver parameters must.
   const char* argv_c[] = {"bench", "--battery", "peukert"};
