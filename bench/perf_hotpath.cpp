@@ -62,6 +62,7 @@ struct Cell {
   std::string scenario;
   std::string scheme;
   std::string battery;
+  std::string engine;  // "tick" or "event"
 };
 
 struct CellResult {
@@ -118,6 +119,7 @@ std::vector<double> time_rep(const Cell& cell, std::uint64_t seed, int rep) {
   const auto set = scn.make_workload(rng);
   auto config = scn.sim_config(util::Rng::hash_combine(rep_seed, 1000u));
   config.record_perf_counters = true;
+  config.engine = sim::engine_from_string(cell.engine);
   const auto battery = exp::make_battery(cell.battery);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -156,7 +158,8 @@ std::vector<CellResult> run_campaign(const std::vector<Cell>& cells,
   spec.title = "perf-hotpath-campaign";
   std::vector<std::string> labels;
   for (const auto& cell : cells) {
-    labels.push_back(cell.scenario + "/" + cell.scheme + "/" + cell.battery);
+    labels.push_back(cell.scenario + "/" + cell.scheme + "/" + cell.battery +
+                     "/" + cell.engine);
   }
   spec.grid.add("cell", labels);
   spec.metrics = {"steps", "battery_draws", "candidates_scored",
@@ -197,12 +200,14 @@ std::string to_json(const std::vector<CellResult>& results,
     std::snprintf(
         line, sizeof(line),
         "    {\"scenario\": \"%s\", \"scheme\": \"%s\", \"battery\": "
-        "\"%s\", \"sims\": %llu, \"steps\": %llu, \"battery_draws\": %llu, "
+        "\"%s\", \"engine\": \"%s\", "
+        "\"sims\": %llu, \"steps\": %llu, \"battery_draws\": %llu, "
         "\"candidates_scored\": %llu, \"scratch_grows\": %llu, "
         "\"elapsed_s\": %.6g, \"steps_per_sec\": %.6g, "
         "\"draws_per_sec\": %.6g, \"sims_per_sec\": %.6g}%s\n",
         r.cell.scenario.c_str(), r.cell.scheme.c_str(),
-        r.cell.battery.c_str(), static_cast<unsigned long long>(r.sims),
+        r.cell.battery.c_str(), r.cell.engine.c_str(),
+        static_cast<unsigned long long>(r.sims),
         static_cast<unsigned long long>(r.steps),
         static_cast<unsigned long long>(r.battery_draws),
         static_cast<unsigned long long>(r.candidates_scored),
@@ -283,6 +288,10 @@ std::vector<BaselineCell> load_baseline(const std::string& path) {
         extract_number(chunk, "steps_per_sec", &cell.steps_per_sec)) {
       // The `": "`-anchored needle cannot match "steps_per_sec".
       extract_number(chunk, "steps", &cell.steps);  // optional
+      if (!extract_string(chunk, "engine", &cell.cell.engine)) {
+        // Baselines recorded before the engine axis timed the tick loop.
+        cell.cell.engine = "tick";
+      }
       cells.push_back(std::move(cell));
     }
     at = end;
@@ -303,7 +312,8 @@ int check_against_baseline(const std::vector<CellResult>& results,
     for (const auto& b : baseline) {
       if (b.cell.scenario != r.cell.scenario ||
           b.cell.scheme != r.cell.scheme ||
-          b.cell.battery != r.cell.battery || !(b.steps_per_sec > 0.0)) {
+          b.cell.battery != r.cell.battery ||
+          b.cell.engine != r.cell.engine || !(b.steps_per_sec > 0.0)) {
         continue;
       }
       ++matched;
@@ -312,10 +322,11 @@ int check_against_baseline(const std::vector<CellResult>& results,
       if (regressed) {
         ++regressions;
       }
-      std::printf("baseline %-14s x %-6s x %-10s %10s vs %10s steps/s "
-                  "(%.2fx)%s\n",
+      std::printf("baseline %-14s x %-6s x %-10s x %-5s %10s vs %10s "
+                  "steps/s (%.2fx)%s\n",
                   r.cell.scenario.c_str(), r.cell.scheme.c_str(),
-                  r.cell.battery.c_str(), fmt_rate(r.steps_per_sec()).c_str(),
+                  r.cell.battery.c_str(), r.cell.engine.c_str(),
+                  fmt_rate(r.steps_per_sec()).c_str(),
                   fmt_rate(b.steps_per_sec).c_str(), ratio,
                   regressed ? "  <-- REGRESSION" : "");
       if (b.steps > 0.0 &&
@@ -355,22 +366,55 @@ int main(int argc, char** argv) {
                    {"campaign", "false"},
                    {"jobs", "1"},
                    {"cache", ""},
-                   {"store", "jsonl"}});
+                   {"store", "jsonl"},
+                   {"engine", "both"},
+                   {"scenarios", ""},
+                   {"batteries", ""}});
 
-    std::vector<std::string> scenarios{"paper-table2", "ippp-diurnal"};
+    // Dense cells (paper-table2, ippp-diurnal) gate "no regression";
+    // the sparse cells (idle-heavy, sporadic-sensor) are the event
+    // engine's headline win and are timed under both engines so the
+    // speedup is visible in every report.
+    std::vector<std::string> scenarios{"paper-table2", "ippp-diurnal",
+                                       "idle-heavy", "sporadic-sensor"};
     std::vector<std::string> schemes{"EDF", "laEDF", "BAS-2"};
     std::vector<std::string> batteries{"kibam", "diffusion"};
     int sets = static_cast<int>(cli.get_int("sets"));
     std::string mode = "default";
     if (cli.get_flag("smoke")) {
       mode = "smoke";
-      scenarios = {"paper-table2"};
+      scenarios = {"paper-table2", "idle-heavy"};
       sets = std::min(sets, 2);
     } else if (cli.get_flag("full")) {
       mode = "full";
-      scenarios = {"paper-table2", "ippp-diurnal", "overload"};
+      scenarios = {"paper-table2", "ippp-diurnal", "overload", "idle-heavy",
+                   "sporadic-sensor"};
       schemes = exp::scheme_labels();
       batteries = exp::battery_labels();
+    }
+    if (const auto v = cli.get("scenarios"); !v.empty()) {
+      // Comma-separated override of the scenario axis (profiling runs).
+      scenarios.clear();
+      std::stringstream ss(v);
+      for (std::string item; std::getline(ss, item, ',');) {
+        scenario::scenario(item);  // eager validation
+        scenarios.push_back(item);
+      }
+    }
+    if (const auto v = cli.get("batteries"); !v.empty()) {
+      batteries.clear();
+      std::stringstream ss(v);
+      for (std::string item; std::getline(ss, item, ',');) {
+        scenario::make_battery(item);  // eager validation
+        batteries.push_back(item);
+      }
+    }
+    std::vector<std::string> engines;
+    if (const auto v = cli.get("engine"); v == "both") {
+      engines = {"tick", "event"};
+    } else {
+      sim::engine_from_string(v);  // eager validation, lists known values
+      engines = {v};
     }
     const std::uint64_t seed = cli.get_u64("seed");
 
@@ -382,7 +426,9 @@ int main(int argc, char** argv) {
     for (const auto& scenario : scenarios) {
       for (const auto& battery : batteries) {
         for (const auto& scheme : schemes) {
-          cells.push_back({scenario, scheme, battery});
+          for (const auto& engine : engines) {
+            cells.push_back({scenario, scheme, battery, engine});
+          }
         }
       }
     }
@@ -401,12 +447,12 @@ int main(int argc, char** argv) {
       }
     }
 
-    util::Table table({"scenario", "scheme", "battery", "sims", "steps",
-                       "steps/s", "draws/s", "sims/s", "scored/step",
-                       "grows"});
+    util::Table table({"scenario", "scheme", "battery", "engine", "sims",
+                       "steps", "steps/s", "draws/s", "sims/s",
+                       "scored/step", "grows"});
     for (const auto& r : results) {
       table.add_row(
-          {r.cell.scenario, r.cell.scheme, r.cell.battery,
+          {r.cell.scenario, r.cell.scheme, r.cell.battery, r.cell.engine,
            util::Table::num(static_cast<long long>(r.sims)),
            util::Table::num(static_cast<long long>(r.steps)),
            fmt_rate(r.steps_per_sec()), fmt_rate(r.draws_per_sec()),
@@ -419,6 +465,29 @@ int main(int argc, char** argv) {
            util::Table::num(static_cast<long long>(r.scratch_grows))});
     }
     table.print();
+
+    // Event-vs-tick speedup per cell, measured on end-to-end sims/sec —
+    // the two engines do different amounts of per-"step" work, so
+    // steps/sec is not comparable across them; whole simulations are.
+    if (engines.size() == 2) {
+      std::printf("\nevent/tick speedup (sims/sec):\n");
+      for (const auto& r : results) {
+        if (r.cell.engine != "event") {
+          continue;
+        }
+        for (const auto& t : results) {
+          if (t.cell.engine == "tick" && t.cell.scenario == r.cell.scenario &&
+              t.cell.scheme == r.cell.scheme &&
+              t.cell.battery == r.cell.battery && t.sims_per_sec() > 0.0) {
+            std::printf("  %-15s x %-6s x %-10s %.2fx\n",
+                        r.cell.scenario.c_str(), r.cell.scheme.c_str(),
+                        r.cell.battery.c_str(),
+                        r.sims_per_sec() / t.sims_per_sec());
+            break;
+          }
+        }
+      }
+    }
 
     const std::string json =
         to_json(results, mode, sets, seed);

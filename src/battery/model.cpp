@@ -17,6 +17,17 @@ double Battery::draw(double current_a, double dt_s) {
   return sustained;
 }
 
+double Battery::advance_interval(double charge_c, double dt_s) {
+  if (charge_c < 0.0 || dt_s < 0.0) {
+    throw std::invalid_argument(
+        "Battery::advance_interval: negative charge or time");
+  }
+  if (dt_s == 0.0) {
+    return 0.0;
+  }
+  return draw(charge_c / dt_s, dt_s);
+}
+
 void Battery::reset() {
   do_reset();
   delivered_c_ = 0.0;

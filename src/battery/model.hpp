@@ -38,6 +38,19 @@ class Battery {
   /// draw on an empty battery returns 0.
   double draw(double current_a, double dt_s);
 
+  /// Interval advance for the event-driven simulator: consumes
+  /// `charge_c` coulombs spread over `dt_s` seconds as one
+  /// charge-equivalent constant-current draw (charge_c / dt_s for
+  /// dt_s). Every kernel's do_draw already advances state in closed
+  /// form over an arbitrary dt — diffusion sweeps its rate table once,
+  /// KiBaM applies its single-exponential step, Peukert and the ideal
+  /// cell are O(1) — so one merged call replaces what the tick engine
+  /// issues as a draw per executed slice. (The stochastic model is the
+  /// exception: its do_draw steps internal slots of fixed width, so an
+  /// interval advance still pays per-slot cost and only saves the call
+  /// overhead.) Returns the sustained duration, exactly like draw().
+  double advance_interval(double charge_c, double dt_s);
+
   virtual bool empty() const = 0;
 
   /// Fraction of *total* stored charge remaining, in [0, 1]. Note that a

@@ -18,6 +18,7 @@ class NoDvs final : public DvsPolicy {
                 double /*now*/) override {
     return fmax_hz_;
   }
+  bool run_constant() const override { return true; }
 
  private:
   double fmax_hz_;
@@ -37,6 +38,8 @@ class StaticDvs final : public DvsPolicy {
     }
     return std::min(cycles_per_second, fmax_hz_);
   }
+  // Reads only wc_total_cycles and period_s — per-run constants.
+  bool run_constant() const override { return true; }
 
  private:
   double fmax_hz_;

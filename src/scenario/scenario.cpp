@@ -395,6 +395,8 @@ std::string ScenarioSpec::fingerprint() const {
       << " ac=" << sim.ac_lo_frac << ".." << sim.ac_hi_frac
       << " ac-jitter=" << sim.ac_jitter
       << " stop-on-empty=" << (sim.stop_when_battery_empty ? 1 : 0)
+      << " engine=" << sim::to_string(sim.engine)
+      << " battery-window=" << sim.battery_window_s
       << " " << arrival::fingerprint(sim.arrival);
   return out.str();
 }
@@ -477,6 +479,7 @@ std::map<std::string, std::string> with_scenario_defaults(
       "period-hi",             "spread",
       "battery",               "processor",
       "horizon",               "ac-model",
+      "engine",                "battery-window",
       "arrival",               "arrival.jitter",
       "arrival.gap",           "arrival.rate-scale",
       "arrival.diurnal-amp",   "arrival.diurnal-period",
@@ -531,6 +534,14 @@ void apply_cli_overrides(ScenarioSpec& spec, const util::Cli& cli) {
   }
   if (const auto v = value("ac-model"); !v.empty()) {
     spec.sim.ac_model = ac_model_from_string(v);
+  }
+  if (const auto v = value("engine"); !v.empty()) {
+    // Eager validation: an unknown engine label fails here, at parse
+    // time, with the known-values list — not inside a campaign worker.
+    spec.sim.engine = sim::engine_from_string(v);
+  }
+  if (const auto v = value("battery-window"); !v.empty()) {
+    spec.sim.battery_window_s = parse_double("battery-window", v);
   }
   bool arrival_touched = false;
   auto& arr = spec.sim.arrival;
@@ -616,7 +627,8 @@ bool handle_list_request(const util::Cli& cli) {
       "\nOverride any field of the chosen preset with "
       "--scenario.FIELD=VALUE (fields: utilization, util-basis, graphs, "
       "min-nodes, max-nodes, period-lo, period-hi, spread, battery, "
-      "processor, horizon, ac-model, arrival, arrival.jitter, arrival.gap, "
+      "processor, horizon, ac-model, engine, battery-window, arrival, "
+      "arrival.jitter, arrival.gap, "
       "arrival.rate-scale, arrival.diurnal-amp, arrival.diurnal-period, "
       "arrival.burst-factor, arrival.burst-period, arrival.burst-duty, "
       "arrival.trace, arrival.trace-repeat).\n");

@@ -9,6 +9,7 @@ namespace {
 class PubsPriority final : public PriorityPolicy {
  public:
   std::string name() const override { return "pUBS"; }
+  bool uses_estimate() const override { return true; }
 
   double score(const Candidate& cand, double now) override {
     constexpr double kEps = 1e-12;
@@ -64,6 +65,7 @@ class RandomPriority final : public PriorityPolicy {
   explicit RandomPriority(std::uint64_t seed) : seed_(seed), rng_(seed) {}
   std::string name() const override { return "Random"; }
   double score(const Candidate&, double) override { return rng_.uniform(); }
+  bool stochastic() const override { return true; }
   void reset() override { rng_ = util::Rng(seed_); }
 
  private:

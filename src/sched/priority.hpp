@@ -46,6 +46,19 @@ class PriorityPolicy {
   /// broken deterministically by (graph, node) in the scheduler.
   virtual double score(const Candidate& candidate, double now) = 0;
 
+  /// True when score() consumes randomness from an internal stream.
+  /// The event engine must then score every candidate in exactly the
+  /// tick engine's sequence — even lone candidates whose order cannot
+  /// matter — so the stream stays aligned across engines (the CRN
+  /// contract the tick-vs-event equivalence tests rely on).
+  virtual bool stochastic() const { return false; }
+
+  /// True when score() reads Candidate::estimate_cycles. When false the
+  /// scheduler may skip the estimator lookup for this policy's
+  /// candidates (the estimator still observes every completion, so
+  /// skipping the read changes nothing observable).
+  virtual bool uses_estimate() const { return false; }
+
   virtual void reset() {}
 };
 

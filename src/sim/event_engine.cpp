@@ -1,0 +1,574 @@
+// The discrete-event inner loop (Engine::kEvent, the default).
+//
+// Instead of scanning every arrival stream at the top of each step, the
+// engine keeps a priority queue of (time, kind, actor) events — one
+// pending release per graph (re-armed from its ArrivalProcess on pop),
+// battery-observation points, and the fixed-horizon marker — and keeps
+// the at-most-one pending job completion in a running-slice register
+// compared against the queue head (see event_queue.hpp for the
+// taxonomy and the deterministic ordering contract). Scheduling
+// decisions are taken at exactly the tick engine's decision points with
+// exactly the tick engine's candidate enumeration and policy-call
+// sequence, so the two engines produce the same execution trajectory
+// in exact arithmetic; where no battery merging applies (no battery,
+// or a recorded profile/trace) the engines agree draw-for-draw.
+//
+// The battery is where the engines differ numerically: executed and
+// idle slices shorter than SimConfig::battery_window_s accrue into a
+// charge-equivalent mean-current window that advances the kernel once
+// per observation point, and constant stretches of at least a window
+// (long idle gaps) advance it in one exact closed-form call. The
+// tolerance argument — why <= 5 s mean-current merging moves lifetimes
+// by < 0.1% on every calibrated kernel — is written up in
+// EXPERIMENTS.md ("Event-driven core"). When a window's flush empties
+// the cell mid-interval, the buffered slices attribute energy, charge
+// and busy time exactly up to the cutoff; discrete counters
+// (completions, deadline misses) may include work from the remainder
+// of that one window — the documented slop of deferring battery
+// evaluation.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dvs/realizer.hpp"
+#include "sched/feasibility.hpp"
+#include "sim/engine_internal.hpp"
+#include "util/sort.hpp"
+
+namespace bas::sim {
+
+using namespace detail;
+
+SimResult Simulator::run_event(bat::Battery* battery) {
+  scheme_.reset();
+  if (battery != nullptr) {
+    battery->reset();
+  }
+
+  SimResult res;
+  res.battery_attached = battery != nullptr;
+  const bool count_perf = config_.record_perf_counters;
+  const int n_graphs = static_cast<int>(set_.size());
+  const std::size_t n = set_.size();
+
+  Scratch& s = *scratch_;
+  reset_run_state(s, n);
+  if (config_.record_trace) {
+    res.trace.reserve(1024);
+  }
+  if (config_.record_profile) {
+    res.profile.reserve(1024);
+  }
+
+  const ByGraph inst(s.inst);
+  const ByGraph statuses(s.statuses);
+  auto graph_at = [&](int g) -> decltype(auto) {
+    return set_.graph(static_cast<std::size_t>(g));
+  };
+  auto scratch_caps = [&s] {
+    std::size_t caps = s.edf.capacity() + s.candidates.capacity() +
+                       s.statuses.capacity() + s.queue.capacity() +
+                       s.win_slices.capacity();
+    for (const auto& ir : s.inst) {
+      caps += ir.ready.capacity();
+    }
+    return caps;
+  };
+  const std::size_t caps_at_start = count_perf ? scratch_caps() : 0;
+
+  // Audit runs (profile/trace) flush the battery per slice and stay
+  // draw-for-draw identical to the tick engine; merging applies to the
+  // plain lifetime/feasibility runs campaigns are made of.
+  const bool merging = battery != nullptr && config_.battery_window_s > 0.0 &&
+                       !config_.record_profile && !config_.record_trace;
+
+  double t = 0.0;
+  bool battery_dead = false;
+  double death_t = kInf;
+  double last_busy_current = kInf;
+
+  init_arrivals(s, config_, n_graphs);
+  double next_release_s = min_next_release(s);
+
+  EventQueue& q = s.queue;
+  q.clear();
+  for (int g = 0; g < n_graphs; ++g) {
+    const double first = s.arrivals[static_cast<std::size_t>(g)].next;
+    if (first != kInf) {
+      q.push({first, EventKind::kRelease, g});
+    }
+  }
+  if (!config_.drain) {
+    q.push({config_.horizon_s, EventKind::kHorizon, -1});
+  }
+
+  // ---- battery merge window -------------------------------------------
+  bool win_open = false;
+  bool obs_scheduled = false;
+  double win_start = 0.0;
+  double win_span = 0.0;
+  double win_charge = 0.0;
+
+  // Advances the kernel over the open window in one charge-equivalent
+  // mean-current call, then attributes the buffered slices to the
+  // result exactly up to the sustained duration (the whole window
+  // unless the cell hit cutoff inside it).
+  auto flush_window = [&] {
+    if (!win_open) {
+      return;
+    }
+    win_open = false;
+    const double span = win_span;
+    if (span <= 0.0) {
+      s.win_slices.clear();
+      return;
+    }
+    const double sustained = battery->advance_interval(win_charge, span);
+    if (count_perf) {
+      ++res.perf.battery_draws;
+      ++res.perf.battery_interval_advances;
+    }
+    if (battery->empty()) {
+      battery_dead = true;
+      res.battery_died = true;
+      death_t = std::min(death_t, win_start + sustained);
+    }
+    double remaining = sustained;
+    for (const auto& sl : s.win_slices) {
+      const double take = std::min(sl.dur, remaining);
+      if (take <= 0.0) {
+        break;
+      }
+      res.charge_c += sl.current_a * take;
+      res.energy_j += sl.power_w * take;
+      if (sl.busy) {
+        res.busy_s += take;
+      }
+      remaining -= take;
+    }
+    s.win_slices.clear();
+  };
+
+  // Accounts `current_a` at `power_w` for `dur` starting at `t0`.
+  // Returns the sustained duration: `dur` unless the battery died — in
+  // merge mode a slice rejected because an earlier flush emptied the
+  // cell returns 0 and death_t already holds the cutoff time.
+  auto accrue = [&](double t0, double dur, double current_a, double power_w,
+                    bool busy) -> double {
+    double sustained = dur;
+    if (battery != nullptr && !battery_dead) {
+      if (merging) {
+        if (win_open && win_span + dur > config_.battery_window_s + kEps) {
+          flush_window();
+        }
+        if (battery_dead) {
+          return 0.0;
+        }
+        if (dur >= config_.battery_window_s) {
+          // Constant stretch of at least a window (a long idle gap):
+          // one exact closed-form advance, no merging error at all.
+          flush_window();
+          if (battery_dead) {
+            return 0.0;
+          }
+          sustained = battery->draw(current_a, dur);
+          if (count_perf) {
+            ++res.perf.battery_draws;
+            ++res.perf.battery_interval_advances;
+          }
+          if (battery->empty()) {
+            battery_dead = true;
+            res.battery_died = true;
+            death_t = std::min(death_t, t0 + sustained);
+          }
+          res.charge_c += current_a * sustained;
+          res.energy_j += power_w * sustained;
+          if (busy) {
+            res.busy_s += sustained;
+          }
+          return sustained;
+        }
+        if (!win_open) {
+          win_open = true;
+          win_start = t0;
+          win_span = 0.0;
+          win_charge = 0.0;
+          s.win_slices.clear();
+          if (!obs_scheduled) {
+            q.push({t0 + config_.battery_window_s, EventKind::kBatteryObs,
+                    -1});
+            obs_scheduled = true;
+          }
+        }
+        win_span += dur;
+        win_charge += current_a * dur;
+        s.win_slices.push_back({dur, current_a, power_w, busy});
+        if (count_perf) {
+          ++res.perf.ticks_skipped;
+        }
+        return dur;  // applied to res at the flush
+      }
+      // Exact per-slice path (audit runs): identical to the tick
+      // engine's consume().
+      sustained = battery->draw(current_a, dur);
+      if (count_perf) {
+        ++res.perf.battery_draws;
+      }
+      if (battery->empty()) {
+        battery_dead = true;
+        res.battery_died = true;
+        death_t = std::min(death_t, t0 + sustained);
+      }
+    }
+    if (config_.record_profile && sustained > 0.0) {
+      res.profile.add(sustained, current_a);
+    }
+    res.charge_c += current_a * sustained;
+    res.energy_j += power_w * sustained;
+    if (busy) {
+      res.busy_s += sustained;
+    }
+    return sustained;
+  };
+
+  const bool stochastic_prio = scheme_.priority->stochastic();
+  const bool need_estimate = scheme_.priority->uses_estimate();
+  // Estimator history is observable only through estimate() calls; when
+  // the priority never consults the estimator (Random and the fixed
+  // orderings), feeding its history is dead work the event engine
+  // skips. The tick engine keeps observing — the skip cannot move any
+  // output either engine reports.
+  const bool feed_estimator = need_estimate;
+
+  // A run-constant DVS policy (noDVS, staticDVS) returns the same fref
+  // at every decision point; select it once and realize the plan here
+  // instead of per step. For the rest, realize() is memoized on fref:
+  // policies saturate (fmax under load, repeated clamps), and the
+  // mapping fref -> plan is pure.
+  const bool constant_dvs = scheme_.dvs->run_constant();
+  double cached_fref = -1.0;
+  dvs::FreqPlan cached_plan{};
+  if (constant_dvs) {
+    cached_fref = std::clamp(scheme_.dvs->select(s.statuses, 0.0), 0.0,
+                             proc_.fmax_hz());
+    cached_plan = dvs::realize(proc_, cached_fref);
+  }
+  // The status snapshot feeds exactly two readers: DvsPolicy::select and
+  // the feasibility guard. With a run-constant policy (select hoisted)
+  // and most-imminent scope (every candidate sits at EDF position 0, so
+  // the guard never fires), neither reader exists and the snapshot is
+  // dead work.
+  const bool need_statuses =
+      !constant_dvs || scheme_.scope == core::ReadyScope::kAllReleased;
+
+  while (true) {
+    if (count_perf) {
+      ++res.perf.steps;
+    }
+
+    // ---- 1. dispatch every event due now -----------------------------
+    if (!q.empty() && q.top().time <= t + kEps) {
+      bool released = false;
+      do {
+        const Event e = q.pop();
+        if (count_perf) {
+          ++res.perf.events_popped;
+        }
+        switch (e.kind) {
+          case EventKind::kRelease: {
+            release_instance(s, config_, e.actor, res, count_perf);
+            const double upcoming =
+                s.arrivals[static_cast<std::size_t>(e.actor)].next;
+            if (upcoming != kInf) {
+              q.push({upcoming, EventKind::kRelease, e.actor});
+            }
+            released = true;
+            break;
+          }
+          case EventKind::kBatteryObs:
+            obs_scheduled = false;
+            flush_window();
+            break;
+          case EventKind::kHorizon:
+          case EventKind::kCompletion:
+            // Horizon is handled by the time check below; completions
+            // live in the running-slice register, never in the queue.
+            break;
+        }
+      } while (!q.empty() && q.top().time <= t + kEps);
+      if (released) {
+        next_release_s = min_next_release(s);
+      }
+    }
+
+    if (!config_.drain && t >= config_.horizon_s - kEps) {
+      break;
+    }
+    if (battery_dead && config_.stop_when_battery_empty) {
+      break;
+    }
+
+    // ---- 2. status snapshot (static fields prefilled) ----------------
+    if (need_statuses) {
+      for (int g = 0; g < n_graphs; ++g) {
+        const auto& ir = inst[g];
+        auto& st = statuses[g];
+        st.abs_deadline_s = ir.deadline_s;
+        st.complete = ir.complete();
+        const bool expired = st.complete && t >= ir.deadline_s - kEps;
+        st.cc_wc_cycles = expired ? 0.0 : ir.cc_wc;
+        st.remaining_wc_cycles = ir.remaining_wc;
+      }
+    }
+
+    // ---- 3. EDF order over incomplete instances ----------------------
+    s.edf.clear();
+    for (int g = 0; g < n_graphs; ++g) {
+      if (!inst[g].complete()) {
+        s.edf.push_back(g);
+      }
+    }
+    util::insertion_sort(s.edf, [&](int a, int b) {
+      const double da = inst[a].deadline_s;
+      const double db = inst[b].deadline_s;
+      return da != db ? da < db : a < b;
+    });
+
+    if (s.edf.empty()) {
+      // Jump the whole idle gap to the next release (or the horizon).
+      double t_next = next_release_s;
+      if (t_next == kInf) {
+        if (config_.drain || t >= config_.horizon_s - kEps) {
+          break;  // drained: nothing in flight, nothing to release
+        }
+        t_next = config_.horizon_s;
+      }
+      const double dt = t_next - t;
+      if (dt > 0.0) {
+        if (count_perf) {
+          res.perf.idle_time_jumped_s += dt;
+        }
+        accrue(t, dt, proc_.idle_current_a(), 0.0, false);
+        if (battery_dead && config_.stop_when_battery_empty) {
+          break;
+        }
+      }
+      t = t_next;
+      continue;
+    }
+
+    // ---- 4. frequency selection (the scheme's DVS half) --------------
+    if (!constant_dvs) {
+      const double fref = std::clamp(scheme_.dvs->select(s.statuses, t), 0.0,
+                                     proc_.fmax_hz());
+      if (fref != cached_fref) {
+        cached_fref = fref;
+        cached_plan = dvs::realize(proc_, fref);
+      }
+    }
+    const auto& plan = cached_plan;
+
+    // ---- 5. ready list + priority order (the ordering half) ----------
+    // Candidate enumeration order is the tick engine's exactly, so a
+    // stochastic priority's draw stream stays aligned across engines.
+    s.candidates.clear();
+    const std::size_t scan_depth =
+        scheme_.scope == core::ReadyScope::kAllReleased ? s.edf.size() : 1;
+    for (std::size_t pos = 0; pos < scan_depth; ++pos) {
+      const int g = s.edf[pos];
+      const auto& ir = inst[g];
+      for (const tg::NodeId id : ir.ready) {
+        const auto& nr = ir.nodes[id];
+        auto& sc = s.candidates.emplace_back();
+        auto& c = sc.cand;
+        c.graph = g;
+        c.node = id;
+        c.wc_cycles = std::max(nr.wc - nr.executed(), kCycleEps);
+        c.actual_cycles = nr.remaining_ac;
+        c.estimate_cycles = c.wc_cycles;  // overwritten when needed
+        c.graph_abs_deadline_s = ir.deadline_s;
+        c.graph_remaining_wc_cycles = ir.remaining_wc;
+        c.edf_position = static_cast<int>(pos);
+        sc.score = 0.0;
+      }
+    }
+    const std::size_t n_cand = s.candidates.size();
+    if (count_perf) {
+      res.perf.candidates_scored += n_cand;
+    }
+    // A lone candidate needs no order — unless the priority consumes
+    // randomness, in which case it is scored anyway to keep its stream
+    // aligned with the tick engine's.
+    const bool do_score = n_cand > 1 || stochastic_prio;
+    if (do_score) {
+      for (auto& sc : s.candidates) {
+        if (need_estimate) {
+          const auto& ir = inst[sc.cand.graph];
+          const auto& nr = ir.nodes[sc.cand.node];
+          const double full_estimate = scheme_.estimator->estimate(
+              sc.cand.graph, sc.cand.node, nr.wc, nr.ac);
+          sc.cand.estimate_cycles =
+              std::max(full_estimate - nr.executed(), kCycleEps);
+        }
+        sc.score = scheme_.priority->score(sc.cand, t);
+      }
+    }
+
+    // Selection: the unique (score, graph, node) minimum, falling back
+    // to the fully sorted walk only when that minimum fails the
+    // feasibility guard (rare) — the same chosen candidate the tick
+    // engine's sort-then-walk produces.
+    auto cand_less = [](const ScoredCandidate& a, const ScoredCandidate& b) {
+      if (a.score != b.score) {
+        return a.score < b.score;
+      }
+      if (a.cand.graph != b.cand.graph) {
+        return a.cand.graph < b.cand.graph;
+      }
+      return a.cand.node < b.cand.node;
+    };
+    auto feasible = [&](const ScoredCandidate& sc) {
+      return sc.cand.edf_position == 0 ||
+             sched::feasibility_check(s.statuses, s.edf, sc.cand.edf_position,
+                                      sc.cand.wc_cycles,
+                                      plan.effective_freq_hz, t);
+    };
+    const ScoredCandidate* chosen = nullptr;
+    if (n_cand == 1) {
+      chosen = &s.candidates[0];  // pos 0 by construction: unguarded
+    } else {
+      const ScoredCandidate* best = &s.candidates[0];
+      for (std::size_t i = 1; i < n_cand; ++i) {
+        if (cand_less(s.candidates[i], *best)) {
+          best = &s.candidates[i];
+        }
+      }
+      if (feasible(*best)) {
+        chosen = best;
+      } else {
+        util::insertion_sort(s.candidates, cand_less);
+        for (const auto& sc : s.candidates) {
+          if (feasible(sc)) {
+            chosen = &sc;
+            break;
+          }
+        }
+      }
+    }
+    // The most-imminent graph always offers an unguarded candidate.
+    if (chosen == nullptr) {
+      throw std::logic_error("Simulator: no feasible candidate (bug)");
+    }
+
+    // ---- 6. run the chosen node until completion or next release -----
+    const int g = chosen->cand.graph;
+    auto& ir = inst[g];
+    auto& nr = ir.nodes[chosen->cand.node];
+
+    const double full_duration = nr.remaining_ac / plan.effective_freq_hz;
+    const double t_release = next_release_s;
+    const double run_until = std::min(t + full_duration, t_release);
+
+    const double hi_end = t + plan.hi_fraction * full_duration;
+    Phase phase_buf[2];
+    std::size_t n_phases = 0;
+    if (run_until <= hi_end + kEps || plan.single_level()) {
+      phase_buf[n_phases++] = {plan.hi_fraction > 0.0 ? plan.hi : plan.lo, t,
+                               run_until};
+    } else {
+      phase_buf[n_phases++] = {plan.hi, t, hi_end};
+      phase_buf[n_phases++] = {plan.lo, hi_end, run_until};
+    }
+
+    double executed_cycles = 0.0;
+    double t_now = t;
+    for (std::size_t p = 0; p < n_phases; ++p) {
+      const auto& ph = phase_buf[p];
+      const double dt = ph.end - ph.start;
+      if (dt <= 0.0) {
+        continue;
+      }
+      const double current = proc_.battery_current_a(ph.op);
+      const double power = proc_.core_power_w(ph.op);
+      const double sustained = accrue(t_now, dt, current, power, true);
+      executed_cycles += ph.op.freq_hz * sustained;
+      if (config_.record_trace && sustained > 0.0) {
+        res.trace.push_back(ExecSlice{g, ir.number, chosen->cand.node,
+                                      t_now, t_now + sustained,
+                                      ph.op.freq_hz, current});
+      }
+      if (current > last_busy_current + 1e-12) {
+        ++res.frequency_increases;
+      }
+      last_busy_current = current;
+      t_now += sustained;
+      if (battery_dead && config_.stop_when_battery_empty) {
+        break;
+      }
+    }
+    t = t_now;
+
+    // ---- 7. bookkeeping ----------------------------------------------
+    executed_cycles = std::min(executed_cycles, nr.remaining_ac);
+    nr.remaining_ac -= executed_cycles;
+    ir.remaining_wc = std::max(0.0, ir.remaining_wc - executed_cycles);
+
+    if (battery_dead && config_.stop_when_battery_empty) {
+      break;
+    }
+
+    if (nr.remaining_ac <= kCycleEps) {
+      // The running-slice register dispatches its completion here —
+      // the kCompletion arm of the event taxonomy.
+      if (count_perf) {
+        ++res.perf.events_popped;
+      }
+      nr.remaining_ac = 0.0;
+      nr.done = true;
+      ++ir.done_count;
+      ++res.nodes_executed;
+      ir.cc_wc += nr.ac - nr.wc;
+      ir.remaining_wc = std::max(0.0, ir.remaining_wc - (nr.wc - nr.ac));
+      auto& rd = ir.ready;
+      rd.erase(std::lower_bound(rd.begin(), rd.end(), chosen->cand.node));
+      const auto& graph = graph_at(g);
+      for (tg::NodeId succ : graph.successors(chosen->cand.node)) {
+        if (--ir.nodes[succ].pending_preds == 0) {
+          rd.insert(std::lower_bound(rd.begin(), rd.end(), succ), succ);
+        }
+      }
+      if (feed_estimator) {
+        scheme_.estimator->observe(g, chosen->cand.node, nr.ac);
+      }
+      if (ir.complete()) {
+        ++res.instances_completed;
+        if (t > ir.deadline_s + 1e-6) {
+          ++res.deadline_misses;
+        }
+      }
+    } else if (run_until >= t_release - kEps) {
+      ++res.preemptions;
+    }
+  }
+
+  // Settle the battery: flush whatever the last window holds, then pin
+  // the end time to the cutoff if the cell emptied.
+  flush_window();
+  if (res.battery_died && config_.stop_when_battery_empty) {
+    t = death_t;
+  }
+
+  if (count_perf && scratch_caps() != caps_at_start) {
+    ++res.perf.scratch_grows;
+  }
+
+  res.end_time_s = t;
+  if (battery != nullptr) {
+    res.battery_lifetime_s = battery->time_alive_s();
+    res.battery_delivered_mah = battery->charge_delivered_mah();
+  }
+  return res;
+}
+
+}  // namespace bas::sim

@@ -1,152 +1,25 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <memory>
 #include <stdexcept>
 
-#include "dvs/realizer.hpp"
-#include "sched/feasibility.hpp"
-#include "util/rng.hpp"
-#include "util/sort.hpp"
+#include "sim/engine_internal.hpp"
 
 namespace bas::sim {
 
-namespace {
-
-constexpr double kEps = 1e-9;
-constexpr double kCycleEps = 0.5;  // cycles; completion snap threshold
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-struct NodeRt {
-  double wc = 0.0;
-  double ac = 0.0;
-  double remaining_ac = 0.0;
-  int pending_preds = 0;
-  bool done = false;
-
-  double executed() const { return ac - remaining_ac; }
-};
-
-struct InstanceRt {
-  std::uint32_t number = 0;
-  double release_s = 0.0;
-  double deadline_s = 0.0;
-  std::vector<NodeRt> nodes;
-  /// Ids with pending_preds == 0 and !done, ascending — incrementally
-  /// maintained so the ready-list scan touches only ready nodes. The
-  /// ascending order reproduces exactly the id-order walk the scan
-  /// previously did over all nodes (same candidates, same sequence —
-  /// which the Random priority's draw stream depends on).
-  std::vector<tg::NodeId> ready;
-  std::size_t done_count = 0;
-  /// Paper's WCi: Σ ac(done) + Σ wc(pending).
-  double cc_wc = 0.0;
-  /// Σ over incomplete nodes of (wc − executed cycles).
-  double remaining_wc = 0.0;
-
-  bool complete() const { return done_count == nodes.size(); }
-};
-
-/// One graph's release stream. Each graph gets a fresh ArrivalProcess
-/// bound to its period and a private Rng derived from (config seed,
-/// arrival tag, graph index) — a pure function of the coordinates, so
-/// arrivals are identical across schemes (common random numbers) and
-/// for any thread count under the campaign runner. `next` holds the
-/// one precomputed upcoming release; once it reaches the horizon the
-/// stream is closed (kInf) and never drawn from again, keeping the
-/// draw sequence independent of how the run ends.
-struct ArrivalRt {
-  std::unique_ptr<arrival::ArrivalProcess> process;
-  util::Rng rng{0};
-  double prev = -1.0;
-  double next = kInf;
-};
-
-struct ScoredCandidate {
-  sched::Candidate cand;
-  double score = 0.0;
-};
-
-/// One constant-operating-point stretch of a chosen node's slot.
-struct Phase {
-  dvs::OperatingPoint op;
-  double start, end;
-};
-
-/// Int-indexed view over per-graph state: the simulator addresses
-/// graphs with the int ids GraphStatus uses, while the backing storage
-/// is a std::vector. The one size_t cast lives here instead of at
-/// every subscript.
-template <typename T>
-class ByGraph {
- public:
-  explicit ByGraph(std::vector<T>& v) : v_(&v) {}
-  T& operator[](int g) const { return (*v_)[static_cast<std::size_t>(g)]; }
-
- private:
-  std::vector<T>* v_;
-};
-
-/// Immutable per-node facts hoisted out of the release loop: the wcet,
-/// predecessor count, the draw_actual hash key (a pure function of
-/// (seed, graph, node)) and — under kPerNodeMean — the node's
-/// persistent mean fraction, which the original formula re-derived
-/// from the same key at every release.
-struct NodeStatic {
-  double wc = 0.0;
-  int pred_count = 0;
-  std::uint64_t draw_key = 0;
-  double mean_frac = 0.0;  // kPerNodeMean only
-};
-
-/// Immutable per-graph facts (TaskGraph::total_wcet_cycles() re-sums
-/// the node list on every call, so the per-step status snapshot reads
-/// the value from here instead).
-struct GraphStatic {
-  double period_s = 0.0;
-  double deadline_s = 0.0;
-  double total_wc_cycles = 0.0;
-  std::vector<NodeStatic> nodes;
-};
-
-double draw_actual(const SimConfig& cfg, const NodeStatic& ns,
-                   std::uint32_t instance) {
-  const std::uint64_t inst_key =
-      util::Rng::hash_combine(ns.draw_key, 0xabcd0000ULL + instance);
-  if (cfg.ac_model == AcModel::kIid) {
-    util::Rng rng(inst_key);
-    return ns.wc * rng.uniform(cfg.ac_lo_frac, cfg.ac_hi_frac);
-  }
-  // Persistent per-node mean (precomputed: instance-independent) plus
-  // per-instance jitter.
-  util::Rng jitter_rng(inst_key);
-  const double frac =
-      std::clamp(ns.mean_frac + jitter_rng.uniform(-cfg.ac_jitter,
-                                                   cfg.ac_jitter),
-                 cfg.ac_lo_frac, cfg.ac_hi_frac);
-  return ns.wc * frac;
+std::string to_string(Engine engine) {
+  return engine == Engine::kTick ? "tick" : "event";
 }
 
-}  // namespace
-
-/// The scheduling loop's working set, owned by the Simulator and reused
-/// across steps and runs. Buffers are cleared (size 0) or overwritten
-/// in full each step, never reallocated in steady state — the zero-
-/// alloc property SimResult::perf.scratch_grows tracks. Reuse is an
-/// exact transformation: every element written this step is written
-/// before it is read, so the values never depend on what a previous
-/// step (or run) left behind.
-struct Simulator::Scratch {
-  std::vector<GraphStatic> statics;  // filled once, in the constructor
-  std::vector<InstanceRt> inst;
-  std::vector<std::uint32_t> released_count;
-  std::vector<ArrivalRt> arrivals;
-  std::vector<dvs::GraphStatus> statuses;
-  std::vector<int> edf;
-  std::vector<ScoredCandidate> candidates;
-};
+Engine engine_from_string(const std::string& text) {
+  if (text == "tick") {
+    return Engine::kTick;
+  }
+  if (text == "event") {
+    return Engine::kEvent;
+  }
+  throw std::invalid_argument("unknown engine '" + text +
+                              "' (known values: tick, event)");
+}
 
 Simulator::Simulator(const tg::TaskGraphSet& set, const dvs::Processor& proc,
                      core::Scheme& scheme, SimConfig config)
@@ -154,7 +27,7 @@ Simulator::Simulator(const tg::TaskGraphSet& set, const dvs::Processor& proc,
       proc_(proc),
       scheme_(scheme),
       config_(config),
-      scratch_(std::make_unique<Scratch>()) {
+      scratch_(std::make_unique<detail::Scratch>()) {
   set_.validate();
   if (!(config_.horizon_s > 0.0)) {
     throw std::invalid_argument("Simulator: horizon must be positive");
@@ -204,408 +77,8 @@ Simulator::Simulator(const tg::TaskGraphSet& set, const dvs::Processor& proc,
 Simulator::~Simulator() = default;
 
 SimResult Simulator::run(bat::Battery* battery) {
-  scheme_.reset();
-  if (battery != nullptr) {
-    battery->reset();
-  }
-
-  SimResult res;
-  res.battery_attached = battery != nullptr;
-  const bool count_perf = config_.record_perf_counters;
-  const int n_graphs = static_cast<int>(set_.size());
-  const std::size_t n = set_.size();
-
-  // Reset the reused working set without releasing capacity. Instances
-  // return to the pre-first-release state (an empty node list counts as
-  // complete()), while each graph's node buffer keeps its allocation
-  // from earlier releases and runs.
-  Scratch& s = *scratch_;
-  if (s.inst.size() != n) {
-    s.inst.resize(n);
-  }
-  for (auto& ir : s.inst) {
-    ir.number = 0;
-    ir.release_s = 0.0;
-    ir.deadline_s = 0.0;
-    ir.nodes.clear();
-    ir.ready.clear();
-    ir.done_count = 0;
-    ir.cc_wc = 0.0;
-    ir.remaining_wc = 0.0;
-  }
-  s.released_count.assign(n, 0);
-  if (s.arrivals.size() != n) {
-    s.arrivals.resize(n);
-  }
-  s.statuses.resize(n);
-  // The static status fields never change within a run; write them once
-  // so the per-step snapshot touches only the dynamic four.
-  for (int g = 0; g < n_graphs; ++g) {
-    auto& st = s.statuses[static_cast<std::size_t>(g)];
-    st.graph = g;
-    st.period_s = s.statics[static_cast<std::size_t>(g)].period_s;
-    st.wc_total_cycles = s.statics[static_cast<std::size_t>(g)].total_wc_cycles;
-  }
-  if (config_.record_trace) {
-    res.trace.reserve(1024);
-  }
-  if (config_.record_profile) {
-    res.profile.reserve(1024);
-  }
-
-  const ByGraph statics(s.statics);
-  const ByGraph inst(s.inst);
-  const ByGraph released_count(s.released_count);
-  const ByGraph arrivals(s.arrivals);
-  const ByGraph statuses(s.statuses);
-  auto graph_at = [&](int g) -> decltype(auto) {
-    return set_.graph(static_cast<std::size_t>(g));
-  };
-  auto scratch_caps = [&s] {
-    std::size_t caps = s.edf.capacity() + s.candidates.capacity() +
-                       s.statuses.capacity();
-    for (const auto& ir : s.inst) {
-      caps += ir.ready.capacity();
-    }
-    return caps;
-  };
-
-  double t = 0.0;
-  bool battery_dead = false;
-  double last_busy_current = kInf;
-
-  for (int g = 0; g < n_graphs; ++g) {
-    auto& ar = arrivals[g];
-    ar.process = arrival::make(config_.arrival, statics[g].period_s);
-    ar.rng = util::Rng(util::derive_seed(
-        config_.seed, {0x41525256ULL /*'ARRV'*/,
-                       static_cast<std::uint64_t>(g)}));
-    ar.prev = -1.0;
-    const double first = ar.process->next_release(ar.prev, ar.rng);
-    ar.next = first < config_.horizon_s - kEps ? first : kInf;
-  }
-
-  // Earliest upcoming release across all graphs, maintained at release
-  // time: a graph's `next` only changes when it releases, so the cached
-  // minimum is refreshed once per release batch instead of rescanned at
-  // every decision point.
-  double next_release_s = kInf;
-  auto recompute_next_release = [&] {
-    double best = kInf;
-    for (int g = 0; g < n_graphs; ++g) {
-      best = std::min(best, arrivals[g].next);
-    }
-    next_release_s = best;
-  };
-  recompute_next_release();
-
-  auto release_instance = [&](int g) {
-    auto& ir = inst[g];
-    auto& ar = arrivals[g];
-    const auto& gs = statics[g];
-    if (released_count[g] > 0 && !ir.complete()) {
-      ++res.deadline_misses;  // previous instance overran into this release
-    }
-    ir.number = released_count[g];
-    ir.release_s = ar.next;
-    ir.deadline_s = ir.release_s + gs.deadline_s;
-    ar.prev = ar.next;
-    if (ar.next != kInf) {
-      const double upcoming = ar.process->next_release(ar.prev, ar.rng);
-      ar.next = upcoming < config_.horizon_s - kEps ? upcoming : kInf;
-    }
-    const std::size_t n_nodes = gs.nodes.size();
-    if (ir.nodes.size() != n_nodes) {
-      if (count_perf && ir.nodes.capacity() < n_nodes) {
-        ++res.perf.scratch_grows;
-      }
-      ir.nodes.resize(n_nodes);
-    }
-    ir.done_count = 0;
-    ir.ready.clear();
-    for (tg::NodeId id = 0; id < n_nodes; ++id) {
-      const auto& ns = gs.nodes[id];
-      auto& nr = ir.nodes[id];
-      nr.wc = ns.wc;
-      nr.ac = draw_actual(config_, ns, ir.number);
-      nr.remaining_ac = nr.ac;
-      nr.pending_preds = ns.pred_count;
-      nr.done = false;
-      if (ns.pred_count == 0) {
-        ir.ready.push_back(id);
-      }
-    }
-    // Σ wc over the release loop is the same node-order fold
-    // total_wcet_cycles() performs, precomputed in the constructor.
-    ir.cc_wc = gs.total_wc_cycles;
-    ir.remaining_wc = gs.total_wc_cycles;
-    ++released_count[g];
-    ++res.instances_released;
-  };
-
-  // Draws `current_a` for `dt`, updating the battery, profile and
-  // accounting. Returns the sustained duration (== dt unless the
-  // battery died inside the interval).
-  auto consume = [&](double current_a, double dt) -> double {
-    double sustained = dt;
-    if (battery != nullptr && !battery_dead) {
-      sustained = battery->draw(current_a, dt);
-      if (count_perf) {
-        ++res.perf.battery_draws;
-      }
-      if (battery->empty()) {
-        battery_dead = true;
-        res.battery_died = true;
-      }
-    }
-    if (config_.record_profile && sustained > 0.0) {
-      res.profile.add(sustained, current_a);
-    }
-    res.charge_c += current_a * sustained;
-    return sustained;
-  };
-
-  while (true) {
-    const std::size_t caps_before = count_perf ? scratch_caps() : 0;
-    if (count_perf) {
-      ++res.perf.steps;
-    }
-
-    // ---- 1. process due releases ------------------------------------
-    if (next_release_s <= t + kEps) {
-      for (int g = 0; g < n_graphs; ++g) {
-        while (arrivals[g].next <= t + kEps) {
-          release_instance(g);
-        }
-      }
-      recompute_next_release();
-    }
-
-    if (!config_.drain && t >= config_.horizon_s - kEps) {
-      break;
-    }
-    if (battery_dead && config_.stop_when_battery_empty) {
-      break;
-    }
-
-    // ---- 2. status snapshot (static fields prefilled above) ----------
-    for (int g = 0; g < n_graphs; ++g) {
-      const auto& ir = inst[g];
-      auto& st = statuses[g];
-      st.abs_deadline_s = ir.deadline_s;
-      st.complete = ir.complete();
-      // Past its window with no successor instance released (drain tail):
-      // the graph no longer claims bandwidth.
-      const bool expired = st.complete && t >= ir.deadline_s - kEps;
-      st.cc_wc_cycles = expired ? 0.0 : ir.cc_wc;
-      st.remaining_wc_cycles = ir.remaining_wc;
-    }
-
-    // ---- 3. EDF order over incomplete instances ----------------------
-    s.edf.clear();
-    for (int g = 0; g < n_graphs; ++g) {
-      if (!inst[g].complete()) {
-        s.edf.push_back(g);
-      }
-    }
-    util::insertion_sort(s.edf, [&](int a, int b) {
-      const double da = inst[a].deadline_s;
-      const double db = inst[b].deadline_s;
-      return da != db ? da < db : a < b;
-    });
-
-    if (s.edf.empty()) {
-      double t_next = next_release_s;
-      if (t_next == kInf) {
-        if (config_.drain || t >= config_.horizon_s - kEps) {
-          break;  // drained: nothing in flight, nothing to release
-        }
-        // Fixed-horizon run: idle out the tail (idle current still
-        // drains the battery).
-        t_next = config_.horizon_s;
-      }
-      const double dt = t_next - t;
-      if (dt > 0.0) {
-        const double sustained = consume(proc_.idle_current_a(), dt);
-        t += sustained;
-        if (battery_dead && config_.stop_when_battery_empty) {
-          break;
-        }
-      }
-      t = t_next;
-      if (count_perf && scratch_caps() != caps_before) {
-        ++res.perf.scratch_grows;
-      }
-      continue;
-    }
-
-    // ---- 4. frequency selection (the scheme's DVS half) --------------
-    const double fref =
-        std::clamp(scheme_.dvs->select(s.statuses, t), 0.0, proc_.fmax_hz());
-    const auto plan = dvs::realize(proc_, fref);
-
-    // ---- 5. build the ready list (the scheme's ordering half) --------
-    s.candidates.clear();
-    const std::size_t scan_depth =
-        scheme_.scope == core::ReadyScope::kAllReleased ? s.edf.size() : 1;
-    for (std::size_t pos = 0; pos < scan_depth; ++pos) {
-      const int g = s.edf[pos];
-      const auto& ir = inst[g];
-      // `ready` holds exactly the !done, no-pending-preds ids in
-      // ascending order — the same nodes the full id-order scan of
-      // ir.nodes used to select, without touching the rest.
-      for (const tg::NodeId id : ir.ready) {
-        const auto& nr = ir.nodes[id];
-        auto& sc = s.candidates.emplace_back();
-        auto& c = sc.cand;
-        c.graph = g;
-        c.node = id;
-        c.wc_cycles = std::max(nr.wc - nr.executed(), kCycleEps);
-        c.actual_cycles = nr.remaining_ac;
-        const double full_estimate = scheme_.estimator->estimate(
-            g, id, nr.wc, nr.ac);
-        c.estimate_cycles =
-            std::max(full_estimate - nr.executed(), kCycleEps);
-        c.graph_abs_deadline_s = ir.deadline_s;
-        c.graph_remaining_wc_cycles = ir.remaining_wc;
-        c.edf_position = static_cast<int>(pos);
-        sc.score = 0.0;
-      }
-    }
-    if (count_perf) {
-      res.perf.candidates_scored += s.candidates.size();
-    }
-    for (auto& sc : s.candidates) {
-      sc.score = scheme_.priority->score(sc.cand, t);
-    }
-    util::insertion_sort(s.candidates,
-                   [](const ScoredCandidate& a, const ScoredCandidate& b) {
-                     if (a.score != b.score) {
-                       return a.score < b.score;
-                     }
-                     if (a.cand.graph != b.cand.graph) {
-                       return a.cand.graph < b.cand.graph;
-                     }
-                     return a.cand.node < b.cand.node;
-                   });
-
-    const ScoredCandidate* chosen = nullptr;
-    for (const auto& sc : s.candidates) {
-      if (sc.cand.edf_position == 0 ||
-          sched::feasibility_check(s.statuses, s.edf, sc.cand.edf_position,
-                                   sc.cand.wc_cycles,
-                                   plan.effective_freq_hz, t)) {
-        chosen = &sc;
-        break;
-      }
-    }
-    // The most-imminent graph always offers an unguarded candidate.
-    if (chosen == nullptr) {
-      throw std::logic_error("Simulator: no feasible candidate (bug)");
-    }
-
-    // ---- 6. run the chosen node until completion or next release -----
-    const int g = chosen->cand.graph;
-    auto& ir = inst[g];
-    auto& nr = ir.nodes[chosen->cand.node];
-
-    const double full_duration = nr.remaining_ac / plan.effective_freq_hz;
-    const double t_release = next_release_s;
-    const double run_until = std::min(t + full_duration, t_release);
-
-    // The two-point mix is laid out over the node's intended execution
-    // window, higher point first (Guideline 1 within the slot). At most
-    // two phases ever exist, so a fixed pair replaces the old vector.
-    const double hi_end = t + plan.hi_fraction * full_duration;
-    Phase phase_buf[2];
-    std::size_t n_phases = 0;
-    if (run_until <= hi_end + kEps || plan.single_level()) {
-      phase_buf[n_phases++] = {plan.hi_fraction > 0.0 ? plan.hi : plan.lo, t,
-                               run_until};
-    } else {
-      phase_buf[n_phases++] = {plan.hi, t, hi_end};
-      phase_buf[n_phases++] = {plan.lo, hi_end, run_until};
-    }
-
-    double executed_cycles = 0.0;
-    double t_now = t;
-    for (std::size_t p = 0; p < n_phases; ++p) {
-      const auto& ph = phase_buf[p];
-      const double dt = ph.end - ph.start;
-      if (dt <= 0.0) {
-        continue;
-      }
-      const double current = proc_.battery_current_a(ph.op);
-      const double sustained = consume(current, dt);
-      const double cycles = ph.op.freq_hz * sustained;
-      executed_cycles += cycles;
-      res.energy_j += proc_.core_power_w(ph.op) * sustained;
-      res.busy_s += sustained;
-      if (config_.record_trace && sustained > 0.0) {
-        res.trace.push_back(ExecSlice{g, ir.number, chosen->cand.node,
-                                      t_now, t_now + sustained,
-                                      ph.op.freq_hz, current});
-      }
-      if (current > last_busy_current + 1e-12) {
-        ++res.frequency_increases;
-      }
-      last_busy_current = current;
-      t_now += sustained;
-      if (battery_dead && config_.stop_when_battery_empty) {
-        break;
-      }
-    }
-    t = t_now;
-
-    // ---- 7. bookkeeping ----------------------------------------------
-    executed_cycles = std::min(executed_cycles, nr.remaining_ac);
-    nr.remaining_ac -= executed_cycles;
-    ir.remaining_wc = std::max(0.0, ir.remaining_wc - executed_cycles);
-
-    if (battery_dead && config_.stop_when_battery_empty) {
-      break;
-    }
-
-    if (nr.remaining_ac <= kCycleEps) {
-      nr.remaining_ac = 0.0;
-      nr.done = true;
-      ++ir.done_count;
-      ++res.nodes_executed;
-      // Completion adjustments (paper Algorithm 1): the instance's WCi
-      // swaps this node's wc for its actual; remaining worst case drops
-      // by the wc that was never going to run.
-      ir.cc_wc += nr.ac - nr.wc;
-      ir.remaining_wc = std::max(0.0, ir.remaining_wc - (nr.wc - nr.ac));
-      auto& rd = ir.ready;
-      rd.erase(std::lower_bound(rd.begin(), rd.end(), chosen->cand.node));
-      const auto& graph = graph_at(g);
-      for (tg::NodeId succ : graph.successors(chosen->cand.node)) {
-        if (--ir.nodes[succ].pending_preds == 0) {
-          rd.insert(std::lower_bound(rd.begin(), rd.end(), succ), succ);
-        }
-      }
-      scheme_.estimator->observe(g, chosen->cand.node, nr.ac);
-      if (ir.complete()) {
-        ++res.instances_completed;
-        if (t > ir.deadline_s + 1e-6) {
-          ++res.deadline_misses;
-        }
-      }
-    } else if (run_until >= t_release - kEps) {
-      ++res.preemptions;
-    }
-
-    if (count_perf && scratch_caps() != caps_before) {
-      ++res.perf.scratch_grows;
-    }
-  }
-
-  res.end_time_s = t;
-  if (battery != nullptr) {
-    res.battery_lifetime_s = battery->time_alive_s();
-    res.battery_delivered_mah = battery->charge_delivered_mah();
-  }
-  return res;
+  return config_.engine == Engine::kTick ? run_tick(battery)
+                                         : run_event(battery);
 }
 
 SimResult simulate_scheme(const tg::TaskGraphSet& set,

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "arrival/arrival.hpp"
@@ -32,6 +33,36 @@
 #include "taskgraph/set.hpp"
 
 namespace bas::sim {
+
+namespace detail {
+// Per-run working state (instance/arrival runtime, status snapshots,
+// EDF order, candidate and phase lists, event queue), owned by the
+// Simulator and reused across steps and runs so the scheduling loops
+// allocate nothing in steady state. Defined in engine_internal.hpp,
+// shared by both engines.
+struct Scratch;
+}  // namespace detail
+
+/// Which inner loop drives the simulation.
+enum class Engine {
+  /// The PR 5 decision-stepping loop: scan arrivals for due releases at
+  /// the top of every step, draw the battery once per executed slice.
+  /// Kept selectable for A/B runs; bit-frozen by golden tests.
+  kTick,
+  /// The discrete-event core (default): a priority queue of
+  /// (time, kind, actor) events — releases, completions, battery
+  /// observations, horizon — with battery decay/recovery evaluated over
+  /// merged intervals in one closed-form kernel call (see
+  /// SimConfig::battery_window_s and EXPERIMENTS.md, "Event-driven
+  /// core" for the numerical-equivalence argument).
+  kEvent,
+};
+
+std::string to_string(Engine engine);
+/// Parses "tick" / "event"; throws std::invalid_argument listing the
+/// known values otherwise (the eager-validation contract CLI override
+/// paths rely on).
+Engine engine_from_string(const std::string& text);
 
 /// How per-instance actual computations relate across instances.
 enum class AcModel {
@@ -81,6 +112,21 @@ struct SimConfig {
   /// them cannot perturb the byte-identity contract. The perf bench
   /// (bench/perf_hotpath) flips this on to normalize its timings.
   bool record_perf_counters = false;
+  /// Which inner loop runs the simulation. Folded into
+  /// ScenarioSpec::fingerprint(), so campaign caches from one engine
+  /// never satisfy jobs of the other.
+  Engine engine = Engine::kEvent;
+  /// Event engine only: the maximum wall-clock span of one battery
+  /// merge window. Busy/idle slices shorter than this accrue into a
+  /// charge-equivalent mean-current interval that hits the kernel once
+  /// at the next battery-observation point; constant stretches of at
+  /// least this length (long idle gaps) are always evaluated exactly in
+  /// a single closed-form call. 5 s shifts lifetimes by < 0.1% on every
+  /// calibrated kernel (EXPERIMENTS.md, "Event-driven core"). Merging
+  /// disables itself when a load profile or trace is recorded (those
+  /// runs flush per slice and stay draw-for-draw exact); <= 0 disables
+  /// it everywhere.
+  double battery_window_s = 5.0;
 };
 
 /// Hot-path work counters (SimConfig::record_perf_counters).
@@ -93,10 +139,27 @@ struct PerfCounters {
   /// Ready-list candidates scored across all steps.
   std::uint64_t candidates_scored = 0;
   /// Times a reused scratch buffer (status/EDF/candidate arrays,
-  /// per-instance node and ready-list storage) had to allocate or
-  /// grow. Steady state should hold this at a small warmup constant —
-  /// the zero-alloc property bench/perf_hotpath tracks.
+  /// per-instance node and ready-list storage, event queue) had to
+  /// allocate or grow. Steady state should hold this at a small warmup
+  /// constant — the zero-alloc property bench/perf_hotpath tracks.
   std::uint64_t scratch_grows = 0;
+  /// Event engine: events dispatched from the queue (releases,
+  /// battery observations, horizon) plus completion dispatches of the
+  /// running-slice register. Tick engine: 0.
+  std::uint64_t events_popped = 0;
+  /// Event engine: executed slices whose battery evaluation was
+  /// deferred into a merge window instead of an individual kernel call
+  /// — per-slice "ticks" of battery stepping that were skipped. The
+  /// attribution counter behind the sparse-scenario win. Tick: 0.
+  std::uint64_t ticks_skipped = 0;
+  /// Closed-form battery advances over merged or long-constant
+  /// intervals (window flushes + whole idle gaps). Every one replaces
+  /// what the tick engine issues as per-slice draws. Tick: 0.
+  std::uint64_t battery_interval_advances = 0;
+  /// Simulated seconds of empty time crossed in single jumps (both
+  /// engines jump idle gaps; the counter makes the sparse/dense mix of
+  /// a scenario visible in perf reports).
+  double idle_time_jumped_s = 0.0;
 };
 
 struct SimResult {
@@ -157,17 +220,16 @@ class Simulator {
   SimResult run(bat::Battery* battery = nullptr);
 
  private:
-  // Per-run working state (instance/arrival runtime, status snapshots,
-  // EDF order, candidate and phase lists), owned by the Simulator and
-  // reused across steps and runs so the scheduling loop allocates
-  // nothing in steady state. Defined in simulator.cpp.
-  struct Scratch;
+  // The two inner loops (tick_engine.cpp / event_engine.cpp); run()
+  // dispatches on config_.engine.
+  SimResult run_tick(bat::Battery* battery);
+  SimResult run_event(bat::Battery* battery);
 
   const tg::TaskGraphSet& set_;
   const dvs::Processor& proc_;
   core::Scheme& scheme_;
   SimConfig config_;
-  std::unique_ptr<Scratch> scratch_;
+  std::unique_ptr<detail::Scratch> scratch_;
 };
 
 /// Convenience wrapper: build the scheme, simulate, return the result.

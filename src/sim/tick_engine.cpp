@@ -1,0 +1,333 @@
+// The PR 5 decision-stepping inner loop (Engine::kTick), unchanged:
+// scan the arrival streams for due releases at the top of every step,
+// snapshot statuses, re-select the frequency, score the ready list,
+// run the chosen node until completion or the next release, and draw
+// the battery once per executed slice. Kept selectable for A/B runs
+// against the event engine; its observable behaviour is bit-frozen by
+// the tick golden tests (tests/golden/*_tick.csv).
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dvs/realizer.hpp"
+#include "sched/feasibility.hpp"
+#include "sim/engine_internal.hpp"
+#include "util/sort.hpp"
+
+namespace bas::sim {
+
+using namespace detail;
+
+SimResult Simulator::run_tick(bat::Battery* battery) {
+  scheme_.reset();
+  if (battery != nullptr) {
+    battery->reset();
+  }
+
+  SimResult res;
+  res.battery_attached = battery != nullptr;
+  const bool count_perf = config_.record_perf_counters;
+  const int n_graphs = static_cast<int>(set_.size());
+  const std::size_t n = set_.size();
+
+  Scratch& s = *scratch_;
+  reset_run_state(s, n);
+  if (config_.record_trace) {
+    res.trace.reserve(1024);
+  }
+  if (config_.record_profile) {
+    res.profile.reserve(1024);
+  }
+
+  const ByGraph inst(s.inst);
+  const ByGraph arrivals(s.arrivals);
+  const ByGraph statuses(s.statuses);
+  auto graph_at = [&](int g) -> decltype(auto) {
+    return set_.graph(static_cast<std::size_t>(g));
+  };
+  auto scratch_caps = [&s] {
+    std::size_t caps = s.edf.capacity() + s.candidates.capacity() +
+                       s.statuses.capacity();
+    for (const auto& ir : s.inst) {
+      caps += ir.ready.capacity();
+    }
+    return caps;
+  };
+
+  double t = 0.0;
+  bool battery_dead = false;
+  double last_busy_current = kInf;
+
+  init_arrivals(s, config_, n_graphs);
+  double next_release_s = min_next_release(s);
+
+  // Draws `current_a` for `dt`, updating the battery, profile and
+  // accounting. Returns the sustained duration (== dt unless the
+  // battery died inside the interval).
+  auto consume = [&](double current_a, double dt) -> double {
+    double sustained = dt;
+    if (battery != nullptr && !battery_dead) {
+      sustained = battery->draw(current_a, dt);
+      if (count_perf) {
+        ++res.perf.battery_draws;
+      }
+      if (battery->empty()) {
+        battery_dead = true;
+        res.battery_died = true;
+      }
+    }
+    if (config_.record_profile && sustained > 0.0) {
+      res.profile.add(sustained, current_a);
+    }
+    res.charge_c += current_a * sustained;
+    return sustained;
+  };
+
+  while (true) {
+    const std::size_t caps_before = count_perf ? scratch_caps() : 0;
+    if (count_perf) {
+      ++res.perf.steps;
+    }
+
+    // ---- 1. process due releases ------------------------------------
+    if (next_release_s <= t + kEps) {
+      for (int g = 0; g < n_graphs; ++g) {
+        while (arrivals[g].next <= t + kEps) {
+          release_instance(s, config_, g, res, count_perf);
+        }
+      }
+      next_release_s = min_next_release(s);
+    }
+
+    if (!config_.drain && t >= config_.horizon_s - kEps) {
+      break;
+    }
+    if (battery_dead && config_.stop_when_battery_empty) {
+      break;
+    }
+
+    // ---- 2. status snapshot (static fields prefilled above) ----------
+    for (int g = 0; g < n_graphs; ++g) {
+      const auto& ir = inst[g];
+      auto& st = statuses[g];
+      st.abs_deadline_s = ir.deadline_s;
+      st.complete = ir.complete();
+      // Past its window with no successor instance released (drain tail):
+      // the graph no longer claims bandwidth.
+      const bool expired = st.complete && t >= ir.deadline_s - kEps;
+      st.cc_wc_cycles = expired ? 0.0 : ir.cc_wc;
+      st.remaining_wc_cycles = ir.remaining_wc;
+    }
+
+    // ---- 3. EDF order over incomplete instances ----------------------
+    s.edf.clear();
+    for (int g = 0; g < n_graphs; ++g) {
+      if (!inst[g].complete()) {
+        s.edf.push_back(g);
+      }
+    }
+    util::insertion_sort(s.edf, [&](int a, int b) {
+      const double da = inst[a].deadline_s;
+      const double db = inst[b].deadline_s;
+      return da != db ? da < db : a < b;
+    });
+
+    if (s.edf.empty()) {
+      double t_next = next_release_s;
+      if (t_next == kInf) {
+        if (config_.drain || t >= config_.horizon_s - kEps) {
+          break;  // drained: nothing in flight, nothing to release
+        }
+        // Fixed-horizon run: idle out the tail (idle current still
+        // drains the battery).
+        t_next = config_.horizon_s;
+      }
+      const double dt = t_next - t;
+      if (dt > 0.0) {
+        if (count_perf) {
+          res.perf.idle_time_jumped_s += dt;
+        }
+        const double sustained = consume(proc_.idle_current_a(), dt);
+        t += sustained;
+        if (battery_dead && config_.stop_when_battery_empty) {
+          break;
+        }
+      }
+      t = t_next;
+      if (count_perf && scratch_caps() != caps_before) {
+        ++res.perf.scratch_grows;
+      }
+      continue;
+    }
+
+    // ---- 4. frequency selection (the scheme's DVS half) --------------
+    const double fref =
+        std::clamp(scheme_.dvs->select(s.statuses, t), 0.0, proc_.fmax_hz());
+    const auto plan = dvs::realize(proc_, fref);
+
+    // ---- 5. build the ready list (the scheme's ordering half) --------
+    s.candidates.clear();
+    const std::size_t scan_depth =
+        scheme_.scope == core::ReadyScope::kAllReleased ? s.edf.size() : 1;
+    for (std::size_t pos = 0; pos < scan_depth; ++pos) {
+      const int g = s.edf[pos];
+      const auto& ir = inst[g];
+      // `ready` holds exactly the !done, no-pending-preds ids in
+      // ascending order — the same nodes the full id-order scan of
+      // ir.nodes used to select, without touching the rest.
+      for (const tg::NodeId id : ir.ready) {
+        const auto& nr = ir.nodes[id];
+        auto& sc = s.candidates.emplace_back();
+        auto& c = sc.cand;
+        c.graph = g;
+        c.node = id;
+        c.wc_cycles = std::max(nr.wc - nr.executed(), kCycleEps);
+        c.actual_cycles = nr.remaining_ac;
+        const double full_estimate = scheme_.estimator->estimate(
+            g, id, nr.wc, nr.ac);
+        c.estimate_cycles =
+            std::max(full_estimate - nr.executed(), kCycleEps);
+        c.graph_abs_deadline_s = ir.deadline_s;
+        c.graph_remaining_wc_cycles = ir.remaining_wc;
+        c.edf_position = static_cast<int>(pos);
+        sc.score = 0.0;
+      }
+    }
+    if (count_perf) {
+      res.perf.candidates_scored += s.candidates.size();
+    }
+    for (auto& sc : s.candidates) {
+      sc.score = scheme_.priority->score(sc.cand, t);
+    }
+    util::insertion_sort(s.candidates,
+                   [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                     if (a.score != b.score) {
+                       return a.score < b.score;
+                     }
+                     if (a.cand.graph != b.cand.graph) {
+                       return a.cand.graph < b.cand.graph;
+                     }
+                     return a.cand.node < b.cand.node;
+                   });
+
+    const ScoredCandidate* chosen = nullptr;
+    for (const auto& sc : s.candidates) {
+      if (sc.cand.edf_position == 0 ||
+          sched::feasibility_check(s.statuses, s.edf, sc.cand.edf_position,
+                                   sc.cand.wc_cycles,
+                                   plan.effective_freq_hz, t)) {
+        chosen = &sc;
+        break;
+      }
+    }
+    // The most-imminent graph always offers an unguarded candidate.
+    if (chosen == nullptr) {
+      throw std::logic_error("Simulator: no feasible candidate (bug)");
+    }
+
+    // ---- 6. run the chosen node until completion or next release -----
+    const int g = chosen->cand.graph;
+    auto& ir = inst[g];
+    auto& nr = ir.nodes[chosen->cand.node];
+
+    const double full_duration = nr.remaining_ac / plan.effective_freq_hz;
+    const double t_release = next_release_s;
+    const double run_until = std::min(t + full_duration, t_release);
+
+    // The two-point mix is laid out over the node's intended execution
+    // window, higher point first (Guideline 1 within the slot). At most
+    // two phases ever exist, so a fixed pair replaces the old vector.
+    const double hi_end = t + plan.hi_fraction * full_duration;
+    Phase phase_buf[2];
+    std::size_t n_phases = 0;
+    if (run_until <= hi_end + kEps || plan.single_level()) {
+      phase_buf[n_phases++] = {plan.hi_fraction > 0.0 ? plan.hi : plan.lo, t,
+                               run_until};
+    } else {
+      phase_buf[n_phases++] = {plan.hi, t, hi_end};
+      phase_buf[n_phases++] = {plan.lo, hi_end, run_until};
+    }
+
+    double executed_cycles = 0.0;
+    double t_now = t;
+    for (std::size_t p = 0; p < n_phases; ++p) {
+      const auto& ph = phase_buf[p];
+      const double dt = ph.end - ph.start;
+      if (dt <= 0.0) {
+        continue;
+      }
+      const double current = proc_.battery_current_a(ph.op);
+      const double sustained = consume(current, dt);
+      const double cycles = ph.op.freq_hz * sustained;
+      executed_cycles += cycles;
+      res.energy_j += proc_.core_power_w(ph.op) * sustained;
+      res.busy_s += sustained;
+      if (config_.record_trace && sustained > 0.0) {
+        res.trace.push_back(ExecSlice{g, ir.number, chosen->cand.node,
+                                      t_now, t_now + sustained,
+                                      ph.op.freq_hz, current});
+      }
+      if (current > last_busy_current + 1e-12) {
+        ++res.frequency_increases;
+      }
+      last_busy_current = current;
+      t_now += sustained;
+      if (battery_dead && config_.stop_when_battery_empty) {
+        break;
+      }
+    }
+    t = t_now;
+
+    // ---- 7. bookkeeping ----------------------------------------------
+    executed_cycles = std::min(executed_cycles, nr.remaining_ac);
+    nr.remaining_ac -= executed_cycles;
+    ir.remaining_wc = std::max(0.0, ir.remaining_wc - executed_cycles);
+
+    if (battery_dead && config_.stop_when_battery_empty) {
+      break;
+    }
+
+    if (nr.remaining_ac <= kCycleEps) {
+      nr.remaining_ac = 0.0;
+      nr.done = true;
+      ++ir.done_count;
+      ++res.nodes_executed;
+      // Completion adjustments (paper Algorithm 1): the instance's WCi
+      // swaps this node's wc for its actual; remaining worst case drops
+      // by the wc that was never going to run.
+      ir.cc_wc += nr.ac - nr.wc;
+      ir.remaining_wc = std::max(0.0, ir.remaining_wc - (nr.wc - nr.ac));
+      auto& rd = ir.ready;
+      rd.erase(std::lower_bound(rd.begin(), rd.end(), chosen->cand.node));
+      const auto& graph = graph_at(g);
+      for (tg::NodeId succ : graph.successors(chosen->cand.node)) {
+        if (--ir.nodes[succ].pending_preds == 0) {
+          rd.insert(std::lower_bound(rd.begin(), rd.end(), succ), succ);
+        }
+      }
+      scheme_.estimator->observe(g, chosen->cand.node, nr.ac);
+      if (ir.complete()) {
+        ++res.instances_completed;
+        if (t > ir.deadline_s + 1e-6) {
+          ++res.deadline_misses;
+        }
+      }
+    } else if (run_until >= t_release - kEps) {
+      ++res.preemptions;
+    }
+
+    if (count_perf && scratch_caps() != caps_before) {
+      ++res.perf.scratch_grows;
+    }
+  }
+
+  res.end_time_s = t;
+  if (battery != nullptr) {
+    res.battery_lifetime_s = battery->time_alive_s();
+    res.battery_delivered_mah = battery->charge_delivered_mah();
+  }
+  return res;
+}
+
+}  // namespace bas::sim

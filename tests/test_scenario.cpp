@@ -188,6 +188,36 @@ TEST(ScenarioCli, BadOverridesThrowWithValidChoices) {
   }
 }
 
+TEST(ScenarioCli, EngineOverrideSelectsEngineAndEntersFingerprint) {
+  // Default is the event engine; the override flips per spec.
+  EXPECT_EQ(scenario::from_cli(make_cli({})).sim.engine, sim::Engine::kEvent);
+  const auto tick = scenario::from_cli(make_cli({"--scenario.engine=tick"}));
+  EXPECT_EQ(tick.sim.engine, sim::Engine::kTick);
+  const auto event = scenario::from_cli(make_cli({"--scenario.engine=event"}));
+  EXPECT_EQ(event.sim.engine, sim::Engine::kEvent);
+  // Engine choice keys campaign caches: one engine's records must never
+  // satisfy the other's jobs.
+  EXPECT_NE(tick.fingerprint(), event.fingerprint());
+  EXPECT_NE(tick.fingerprint().find("engine=tick"), std::string::npos);
+  // So does the merge-window knob (it moves battery figures).
+  EXPECT_NE(
+      scenario::from_cli(make_cli({"--scenario.battery-window=2.5"}))
+          .fingerprint(),
+      event.fingerprint());
+}
+
+TEST(ScenarioCli, UnknownEngineOverrideFailsEagerlyListingKnownValues) {
+  try {
+    scenario::from_cli(make_cli({"--scenario.engine=warp"}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp"), std::string::npos);
+    EXPECT_NE(what.find("tick"), std::string::npos);
+    EXPECT_NE(what.find("event"), std::string::npos);
+  }
+}
+
 TEST(ScenarioCli, ArrivalOverridesSelectModelAndKnobs) {
   const auto cli = make_cli({"--scenario.arrival=ippp",
                              "--scenario.arrival.rate-scale=1.5",
