@@ -70,9 +70,11 @@ struct CellResult {
   std::uint64_t sims = 0;
   std::uint64_t steps = 0;
   std::uint64_t battery_draws = 0;
+  std::uint64_t battery_interval_advances = 0;
   std::uint64_t candidates_scored = 0;
   std::uint64_t scratch_grows = 0;
   double elapsed_s = 0.0;
+  bas::bat::KernelCounters kernel;
 
   double per_sec(double count) const {
     return elapsed_s > 0.0 ? count / elapsed_s : 0.0;
@@ -82,6 +84,9 @@ struct CellResult {
   }
   double draws_per_sec() const {
     return per_sec(static_cast<double>(battery_draws));
+  }
+  double advances_per_sec() const {
+    return per_sec(static_cast<double>(battery_interval_advances));
   }
   double sims_per_sec() const {
     return per_sec(static_cast<double>(sims));
@@ -104,9 +109,43 @@ std::size_t scheme_index(const std::string& label) {
   throw std::runtime_error("unknown scheme label '" + label + "'");
 }
 
+/// Metric lane order shared by the direct loop and the campaign
+/// pipeline: 6 hot-path lanes followed by the 12 per-kernel battery
+/// counters in KernelCounters declaration order. Counters are exact in
+/// doubles (far below 2^53).
+const std::vector<std::string> kMetricNames = {
+    "steps",       "battery_draws", "battery_interval_advances",
+    "candidates_scored", "scratch_grows", "elapsed_s",
+    "k_exp_sweeps", "k_exp_calls",  "k_decay_hits", "k_decay_misses",
+    "k_gain_hits",  "k_gain_misses", "k_kibam_shared_exps", "k_pow_hits",
+    "k_pow_misses", "k_batch_calls", "k_batch_lanes", "k_fast_advances"};
+
+void fold_metrics(CellResult* out, const std::vector<double>& m) {
+  auto u64 = [](double v) { return static_cast<std::uint64_t>(v); };
+  ++out->sims;
+  out->steps += u64(m[0]);
+  out->battery_draws += u64(m[1]);
+  out->battery_interval_advances += u64(m[2]);
+  out->candidates_scored += u64(m[3]);
+  out->scratch_grows += u64(m[4]);
+  out->elapsed_s += m[5];
+  auto& k = out->kernel;
+  k.exp_sweeps += u64(m[6]);
+  k.exp_calls += u64(m[7]);
+  k.decay_hits += u64(m[8]);
+  k.decay_misses += u64(m[9]);
+  k.gain_hits += u64(m[10]);
+  k.gain_misses += u64(m[11]);
+  k.kibam_shared_exps += u64(m[12]);
+  k.pow_hits += u64(m[13]);
+  k.pow_misses += u64(m[14]);
+  k.batch_calls += u64(m[15]);
+  k.batch_lanes += u64(m[16]);
+  k.fast_advances += u64(m[17]);
+}
+
 /// Times one replicate of one cell: the clock wraps simulate_scheme
-/// only. Returns {steps, draws, scored, grows, elapsed_s} — counters
-/// are exact in doubles (far below 2^53).
+/// only. Returns the kMetricNames lanes.
 std::vector<double> time_rep(const Cell& cell, std::uint64_t seed, int rep) {
   const auto& scn = scenario::scenario(cell.scenario);
   const auto proc = scn.make_processor();
@@ -126,24 +165,33 @@ std::vector<double> time_rep(const Cell& cell, std::uint64_t seed, int rep) {
   const auto r = sim::simulate_scheme(set, proc, kind, config,
                                       battery.get());
   const auto t1 = std::chrono::steady_clock::now();
-  return {static_cast<double>(r.perf.steps),
-          static_cast<double>(r.perf.battery_draws),
-          static_cast<double>(r.perf.candidates_scored),
-          static_cast<double>(r.perf.scratch_grows),
-          std::chrono::duration<double>(t1 - t0).count()};
+  const auto& k = r.perf.kernel;
+  auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+  return {d(r.perf.steps),
+          d(r.perf.battery_draws),
+          d(r.perf.battery_interval_advances),
+          d(r.perf.candidates_scored),
+          d(r.perf.scratch_grows),
+          std::chrono::duration<double>(t1 - t0).count(),
+          d(k.exp_sweeps),
+          d(k.exp_calls),
+          d(k.decay_hits),
+          d(k.decay_misses),
+          d(k.gain_hits),
+          d(k.gain_misses),
+          d(k.kibam_shared_exps),
+          d(k.pow_hits),
+          d(k.pow_misses),
+          d(k.batch_calls),
+          d(k.batch_lanes),
+          d(k.fast_advances)};
 }
 
 CellResult time_cell(const Cell& cell, int sets, std::uint64_t seed) {
   CellResult out;
   out.cell = cell;
   for (int rep = 0; rep < sets; ++rep) {
-    const auto m = time_rep(cell, seed, rep);
-    ++out.sims;
-    out.steps += static_cast<std::uint64_t>(m[0]);
-    out.battery_draws += static_cast<std::uint64_t>(m[1]);
-    out.candidates_scored += static_cast<std::uint64_t>(m[2]);
-    out.scratch_grows += static_cast<std::uint64_t>(m[3]);
-    out.elapsed_s += m[4];
+    fold_metrics(&out, time_rep(cell, seed, rep));
   }
   return out;
 }
@@ -162,8 +210,7 @@ std::vector<CellResult> run_campaign(const std::vector<Cell>& cells,
                      "/" + cell.engine);
   }
   spec.grid.add("cell", labels);
-  spec.metrics = {"steps", "battery_draws", "candidates_scored",
-                  "scratch_grows", "elapsed_s"};
+  spec.metrics = kMetricNames;
   spec.replicates = sets;
   spec.seed = seed;
   spec.run = [&cells, seed](const exp::Job& job) {
@@ -175,44 +222,78 @@ std::vector<CellResult> run_campaign(const std::vector<Cell>& cells,
   for (std::size_t c = 0; c < cells.size(); ++c) {
     CellResult r;
     r.cell = cells[c];
-    r.sims = result.at(c, 0).count();
-    r.steps = static_cast<std::uint64_t>(result.sum(c, 0));
-    r.battery_draws = static_cast<std::uint64_t>(result.sum(c, 1));
-    r.candidates_scored = static_cast<std::uint64_t>(result.sum(c, 2));
-    r.scratch_grows = static_cast<std::uint64_t>(result.sum(c, 3));
-    r.elapsed_s = result.sum(c, 4);
+    const std::uint64_t reps = result.at(c, 0).count();
+    std::vector<double> sums;
+    for (std::size_t m = 0; m < kMetricNames.size(); ++m) {
+      sums.push_back(result.sum(c, m));
+    }
+    // fold_metrics counts one sim per call; feed it the summed lanes
+    // once, then fix up the replicate count.
+    fold_metrics(&r, sums);
+    r.sims = reps;
     out.push_back(std::move(r));
   }
   return out;
 }
 
+constexpr const char* kSchema = "bas-perf/2";
+
 std::string to_json(const std::vector<CellResult>& results,
                     const std::string& mode, int sets, std::uint64_t seed) {
   std::ostringstream out;
-  out << "{\n  \"schema\": \"bas-perf/1\",\n";
+  out << "{\n  \"schema\": \"" << kSchema << "\",\n";
   out << "  \"mode\": \"" << mode << "\",\n";
   out << "  \"sets\": " << sets << ",\n";
   out << "  \"seed\": " << seed << ",\n";
+  out << "  \"kernel_counters_compiled_in\": "
+      << (bat::KernelCounters::compiled_in ? "true" : "false") << ",\n";
   out << "  \"cells\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
-    char line[512];
+    char line[1024];
+    // The kernel counters stay FLAT keys inside the cell object: the
+    // baseline loader chunks the file on braces, so a nested object
+    // would split a cell in two.
+    const auto& k = r.kernel;
     std::snprintf(
         line, sizeof(line),
         "    {\"scenario\": \"%s\", \"scheme\": \"%s\", \"battery\": "
         "\"%s\", \"engine\": \"%s\", "
         "\"sims\": %llu, \"steps\": %llu, \"battery_draws\": %llu, "
+        "\"battery_interval_advances\": %llu, "
         "\"candidates_scored\": %llu, \"scratch_grows\": %llu, "
         "\"elapsed_s\": %.6g, \"steps_per_sec\": %.6g, "
-        "\"draws_per_sec\": %.6g, \"sims_per_sec\": %.6g}%s\n",
+        "\"draws_per_sec\": %.6g, \"advances_per_sec\": %.6g, "
+        "\"sims_per_sec\": %.6g, "
+        "\"k_exp_sweeps\": %llu, \"k_exp_calls\": %llu, "
+        "\"k_decay_hits\": %llu, \"k_decay_misses\": %llu, "
+        "\"k_gain_hits\": %llu, \"k_gain_misses\": %llu, "
+        "\"k_kibam_shared_exps\": %llu, "
+        "\"k_pow_hits\": %llu, \"k_pow_misses\": %llu, "
+        "\"k_batch_calls\": %llu, \"k_batch_lanes\": %llu, "
+        "\"k_fast_advances\": %llu}%s\n",
         r.cell.scenario.c_str(), r.cell.scheme.c_str(),
         r.cell.battery.c_str(), r.cell.engine.c_str(),
         static_cast<unsigned long long>(r.sims),
         static_cast<unsigned long long>(r.steps),
         static_cast<unsigned long long>(r.battery_draws),
+        static_cast<unsigned long long>(r.battery_interval_advances),
         static_cast<unsigned long long>(r.candidates_scored),
         static_cast<unsigned long long>(r.scratch_grows), r.elapsed_s,
-        r.steps_per_sec(), r.draws_per_sec(), r.sims_per_sec(),
+        r.steps_per_sec(), r.draws_per_sec(), r.advances_per_sec(),
+        r.sims_per_sec(),
+        static_cast<unsigned long long>(k.exp_sweeps),
+        static_cast<unsigned long long>(k.exp_calls),
+        static_cast<unsigned long long>(k.decay_hits),
+        static_cast<unsigned long long>(k.decay_misses),
+        static_cast<unsigned long long>(k.gain_hits),
+        static_cast<unsigned long long>(k.gain_misses),
+        static_cast<unsigned long long>(k.kibam_shared_exps),
+        static_cast<unsigned long long>(k.pow_hits),
+        static_cast<unsigned long long>(k.pow_misses),
+        static_cast<unsigned long long>(k.batch_calls),
+        static_cast<unsigned long long>(k.batch_lanes),
+        static_cast<unsigned long long>(k.fast_advances),
         i + 1 < results.size() ? "," : "");
     out << line;
   }
@@ -272,6 +353,17 @@ std::vector<BaselineCell> load_baseline(const std::string& path) {
   std::ostringstream buffer;
   buffer << file.rdbuf();
   const std::string text = buffer.str();
+
+  // Schema gate up front: an old-schema baseline would "match" on the
+  // shared keys and gate against stale semantics, so mismatches fail
+  // loudly instead of degrading to no-cells.
+  std::string schema;
+  if (!extract_string(text, "schema", &schema) || schema != kSchema) {
+    throw std::runtime_error(
+        "baseline file '" + path + "' has schema '" +
+        (schema.empty() ? "<missing>" : schema) + "' but this binary reads '" +
+        kSchema + "' — regenerate it with --write-baseline");
+  }
 
   std::vector<BaselineCell> cells;
   std::size_t at = 0;
@@ -369,6 +461,7 @@ int main(int argc, char** argv) {
                    {"store", "jsonl"},
                    {"engine", "both"},
                    {"scenarios", ""},
+                   {"schemes", ""},
                    {"batteries", ""}});
 
     // Dense cells (paper-table2, ippp-diurnal) gate "no regression";
@@ -379,6 +472,7 @@ int main(int argc, char** argv) {
                                        "idle-heavy", "sporadic-sensor"};
     std::vector<std::string> schemes{"EDF", "laEDF", "BAS-2"};
     std::vector<std::string> batteries{"kibam", "diffusion"};
+    const std::string schemes_override = cli.get("schemes");
     int sets = static_cast<int>(cli.get_int("sets"));
     std::string mode = "default";
     if (cli.get_flag("smoke")) {
@@ -391,6 +485,15 @@ int main(int argc, char** argv) {
                    "sporadic-sensor"};
       schemes = exp::scheme_labels();
       batteries = exp::battery_labels();
+    }
+    if (!schemes_override.empty()) {
+      // Comma-separated override of the scheme axis (profiling runs).
+      schemes.clear();
+      std::stringstream ss(schemes_override);
+      for (std::string item; std::getline(ss, item, ',');) {
+        scheme_index(item);  // eager validation
+        schemes.push_back(item);
+      }
     }
     if (const auto v = cli.get("scenarios"); !v.empty()) {
       // Comma-separated override of the scenario axis (profiling runs).
@@ -448,7 +551,7 @@ int main(int argc, char** argv) {
     }
 
     util::Table table({"scenario", "scheme", "battery", "engine", "sims",
-                       "steps", "steps/s", "draws/s", "sims/s",
+                       "steps", "steps/s", "draws/s", "adv/s", "sims/s",
                        "scored/step", "grows"});
     for (const auto& r : results) {
       table.add_row(
@@ -456,7 +559,7 @@ int main(int argc, char** argv) {
            util::Table::num(static_cast<long long>(r.sims)),
            util::Table::num(static_cast<long long>(r.steps)),
            fmt_rate(r.steps_per_sec()), fmt_rate(r.draws_per_sec()),
-           fmt_rate(r.sims_per_sec()),
+           fmt_rate(r.advances_per_sec()), fmt_rate(r.sims_per_sec()),
            util::Table::num(r.steps > 0
                                 ? static_cast<double>(r.candidates_scored) /
                                       static_cast<double>(r.steps)
@@ -465,6 +568,31 @@ int main(int argc, char** argv) {
            util::Table::num(static_cast<long long>(r.scratch_grows))});
     }
     table.print();
+
+    // Per-kernel counter table (BAS_KERNEL_COUNTERS builds). exp/probe
+    // is the attribution figure for the batched/fast-series work: full
+    // exp sweeps cost one exp per series term, fast advances one total.
+    if (bat::KernelCounters::compiled_in) {
+      std::printf("\nper-kernel battery counters:\n");
+      util::Table ktable({"scenario", "scheme", "battery", "engine",
+                          "exp_sweeps", "exp_calls", "decay h/m", "gain h/m",
+                          "kibam_shx", "pow h/m", "batch c/l", "fast_adv"});
+      auto hm = [](std::uint64_t h, std::uint64_t m) {
+        return std::to_string(h) + "/" + std::to_string(m);
+      };
+      for (const auto& r : results) {
+        const auto& k = r.kernel;
+        ktable.add_row(
+            {r.cell.scenario, r.cell.scheme, r.cell.battery, r.cell.engine,
+             util::Table::num(static_cast<long long>(k.exp_sweeps)),
+             util::Table::num(static_cast<long long>(k.exp_calls)),
+             hm(k.decay_hits, k.decay_misses), hm(k.gain_hits, k.gain_misses),
+             util::Table::num(static_cast<long long>(k.kibam_shared_exps)),
+             hm(k.pow_hits, k.pow_misses), hm(k.batch_calls, k.batch_lanes),
+             util::Table::num(static_cast<long long>(k.fast_advances))});
+      }
+      ktable.print();
+    }
 
     // Event-vs-tick speedup per cell, measured on end-to-end sims/sec —
     // the two engines do different amounts of per-"step" work, so

@@ -3,6 +3,19 @@
 #include <cmath>
 #include <stdexcept>
 
+// Element-wise per-term loops (no reductions, no libm calls) are safe to
+// hand to the vectorizer: SIMD add/mul/div are IEEE-identical lane for
+// lane, so the pragma cannot move a bit. Reduction loops (the sigma
+// accumulations) and the exp/strength-reduction fills stay scalar — a
+// simd reduction would reassociate the sum, and an omp-simd'd std::exp
+// loop could bind to a vector libm with different rounding; both would
+// break the byte-identity contract.
+#if defined(BAS_OPENMP_SIMD)
+#define BAS_SIMD _Pragma("omp simd")
+#else
+#define BAS_SIMD
+#endif
+
 namespace bas::bat {
 
 DiffusionParams DiffusionParams::paper_aaa_nimh() {
@@ -18,24 +31,23 @@ DiffusionBattery::DiffusionBattery(DiffusionParams params) : params_(params) {
       params_.series_terms < 1) {
     throw std::invalid_argument("DiffusionBattery: bad parameters");
   }
-  const auto terms = static_cast<std::size_t>(params_.series_terms);
-  rates_.resize(terms);
+  terms_ = static_cast<std::size_t>(params_.series_terms);
+  soa_.assign(5 * terms_, 0.0);
+  double* r = soa_.data();
   for (int m = 1; m <= params_.series_terms; ++m) {
     // Same expression the per-call formulas evaluated, so the table
     // holds bit-identical values.
-    rates_[static_cast<std::size_t>(m - 1)] = params_.beta_squared * m * m;
+    r[static_cast<std::size_t>(m - 1)] = params_.beta_squared * m * m;
   }
-  decay_.assign(terms, 0.0);
-  gain_.assign(terms, 0.0);
-  s_m_.assign(terms, 0.0);
 }
 
 bool DiffusionBattery::empty() const { return dead_; }
 
 double DiffusionBattery::unavailable_c() const {
+  const double* s = s_lane();
   double total = 0.0;
-  for (double s : s_m_) {
-    total += s;
+  for (std::size_t i = 0; i < terms_; ++i) {
+    total += s[i];
   }
   return 2.0 * total;
 }
@@ -55,11 +67,15 @@ std::unique_ptr<Battery> DiffusionBattery::fresh_clone() const {
 
 void DiffusionBattery::fill_decay(double t) const {
   if (t == decay_t_) {
+    BAS_KC(++kc_.decay_hits);
     return;
   }
-  const std::size_t terms = rates_.size();
-  for (std::size_t i = 0; i < terms; ++i) {
-    decay_[i] = std::exp(-rates_[i] * t);
+  BAS_KC(++kc_.decay_misses; ++kc_.exp_sweeps;
+         kc_.exp_calls += static_cast<std::uint64_t>(terms_));
+  const double* r = rates();
+  double* d = decay();
+  for (std::size_t i = 0; i < terms_; ++i) {
+    d[i] = std::exp(-r[i] * t);
   }
   decay_t_ = t;
 }
@@ -67,26 +83,31 @@ void DiffusionBattery::fill_decay(double t) const {
 void DiffusionBattery::fill_terms(double current_a, double t) const {
   fill_decay(t);
   if (t == gain_t_ && current_a == gain_current_a_) {
+    BAS_KC(++kc_.gain_hits);
     return;
   }
-  const std::size_t terms = rates_.size();
-  for (std::size_t i = 0; i < terms; ++i) {
+  BAS_KC(++kc_.gain_misses);
+  const double* r = rates();
+  const double* d = decay();
+  double* g = gain();
+  BAS_SIMD
+  for (std::size_t i = 0; i < terms_; ++i) {
     // The exact forcing subexpression of the original formulas:
     // (current · (1 − decay)) / rate, association preserved.
-    gain_[i] = current_a * (1.0 - decay_[i]) / rates_[i];
+    g[i] = current_a * (1.0 - d[i]) / r[i];
   }
   gain_t_ = t;
   gain_current_a_ = current_a;
 }
 
-double DiffusionBattery::sigma_after(double current_a, double t) const {
+double DiffusionBattery::sigma_after_c(double current_a, double t) const {
   fill_terms(current_a, t);
+  const double* d = decay();
+  const double* g = gain();
+  const double* s = s_lane();
   double sigma = drawn_c_ + current_a * t;
-  const std::size_t terms = rates_.size();
-  for (std::size_t i = 0; i < terms; ++i) {
-    const double decay = decay_[i];
-    const double s_prev = s_m_[i];
-    sigma += 2.0 * (s_prev * decay + gain_[i]);
+  for (std::size_t i = 0; i < terms_; ++i) {
+    sigma += 2.0 * (s[i] * d[i] + g[i]);
   }
   return sigma;
 }
@@ -94,25 +115,28 @@ double DiffusionBattery::sigma_after(double current_a, double t) const {
 void DiffusionBattery::advance(double current_a, double t) {
   fill_terms(current_a, t);
   drawn_c_ += current_a * t;
-  const std::size_t terms = rates_.size();
-  for (std::size_t i = 0; i < terms; ++i) {
-    auto& s = s_m_[i];
-    s = s * decay_[i] + gain_[i];
+  const double* d = decay();
+  const double* g = gain();
+  double* s = s_lane();
+  BAS_SIMD
+  for (std::size_t i = 0; i < terms_; ++i) {
+    s[i] = s[i] * d[i] + g[i];
   }
 }
 
 double DiffusionBattery::do_draw(double current_a, double dt_s) {
-  if (sigma_after(current_a, dt_s) < params_.alpha_c) {
+  if (sigma_after_c(current_a, dt_s) < params_.alpha_c) {
     advance(current_a, dt_s);
     return dt_s;
   }
   // Cutoff inside the segment. While current flows, sigma is strictly
-  // increasing in t, so bisection finds the crossing.
+  // increasing in t, so bisection finds the crossing. Every probe at a
+  // repeated t rides the t-keyed decay memo (fill_decay).
   double lo = 0.0;
   double hi = dt_s;
   for (int iter = 0; iter < 80; ++iter) {
     const double mid = 0.5 * (lo + hi);
-    if (sigma_after(current_a, mid) < params_.alpha_c) {
+    if (sigma_after_c(current_a, mid) < params_.alpha_c) {
       lo = mid;
     } else {
       hi = mid;
@@ -123,8 +147,97 @@ double DiffusionBattery::do_draw(double current_a, double dt_s) {
   return lo;
 }
 
+double DiffusionBattery::sigma_after_c_fast(double current_a,
+                                            double t) const {
+  // Strength-reduced decays: x = e^{-β²t}; x^{m²} = x^{(m-1)²}·x^{2m-1}
+  // — one exp for the whole series. The recurrence itself is a serial
+  // dependence chain, so it stays scalar by construction.
+  BAS_KC(++kc_.exp_calls);
+  const double x = std::exp(-params_.beta_squared * t);
+  const double x_sq = x * x;
+  double* fd = fast_decay();
+  double odd = x;  // x^{2m-1}
+  double dm = x;   // x^{m²}
+  for (std::size_t i = 0; i < terms_; ++i) {
+    fd[i] = dm;
+    odd *= x_sq;
+    dm *= odd;
+  }
+  const double* r = rates();
+  const double* s = s_lane();
+  double sigma = drawn_c_ + current_a * t;
+  for (std::size_t i = 0; i < terms_; ++i) {
+    sigma += 2.0 * (s[i] * fd[i] + current_a * (1.0 - fd[i]) / r[i]);
+  }
+  return sigma;
+}
+
+void DiffusionBattery::advance_with_fast_decays(double current_a, double t) {
+  drawn_c_ += current_a * t;
+  const double* r = rates();
+  const double* fd = fast_decay();
+  double* s = s_lane();
+  BAS_SIMD
+  for (std::size_t i = 0; i < terms_; ++i) {
+    s[i] = s[i] * fd[i] + current_a * (1.0 - fd[i]) / r[i];
+  }
+}
+
+double DiffusionBattery::do_advance_interval(double current_a, double dt_s) {
+  BAS_KC(++kc_.fast_advances);
+  if (sigma_after_c_fast(current_a, dt_s) < params_.alpha_c) {
+    advance_with_fast_decays(current_a, dt_s);
+    return dt_s;
+  }
+  double lo = 0.0;
+  double hi = dt_s;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (sigma_after_c_fast(current_a, mid) < params_.alpha_c) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // Refill the fast lane at the committed crossing (the last probe may
+  // have evaluated hi) before advancing the state to it.
+  sigma_after_c_fast(current_a, lo);
+  advance_with_fast_decays(current_a, lo);
+  dead_ = true;
+  return lo;
+}
+
+double DiffusionBattery::do_sigma_after(double current_a, double t_s) const {
+  return sigma_after_c(current_a, t_s) / params_.alpha_c;
+}
+
+void DiffusionBattery::do_sigma_after_batch(const double* currents,
+                                            std::size_t n, double t_s,
+                                            double* out) const {
+  // One decay sweep at the shared t (memo-keyed, so a repeated-t batch
+  // costs zero exps); each lane then evaluates the scalar probe's exact
+  // expression — storing the gain subexpression in a register instead
+  // of the gain lane is an identity, so out[i] is bitwise the scalar
+  // sigma_after(currents[i], t). The gain memo is left untouched.
+  fill_decay(t_s);
+  const double* r = rates();
+  const double* d = decay();
+  const double* s = s_lane();
+  for (std::size_t lane = 0; lane < n; ++lane) {
+    const double current_a = currents[lane];
+    double sigma = drawn_c_ + current_a * t_s;
+    for (std::size_t i = 0; i < terms_; ++i) {
+      sigma += 2.0 * (s[i] * d[i] + current_a * (1.0 - d[i]) / r[i]);
+    }
+    out[lane] = sigma / params_.alpha_c;
+  }
+}
+
 void DiffusionBattery::do_reset() {
-  s_m_.assign(static_cast<std::size_t>(params_.series_terms), 0.0);
+  double* s = s_lane();
+  for (std::size_t i = 0; i < terms_; ++i) {
+    s[i] = 0.0;
+  }
   drawn_c_ = 0.0;
   dead_ = false;
 }

@@ -22,14 +22,45 @@ double Battery::advance_interval(double charge_c, double dt_s) {
     throw std::invalid_argument(
         "Battery::advance_interval: negative charge or time");
   }
-  if (dt_s == 0.0) {
+  if (dt_s == 0.0 || empty()) {
     return 0.0;
   }
-  return draw(charge_c / dt_s, dt_s);
+  // Same accounting as draw(), dispatched through the interval-advance
+  // hook so a kernel can substitute its merged-window fast path.
+  const double current_a = charge_c / dt_s;
+  const double sustained = do_advance_interval(current_a, dt_s);
+  delivered_c_ += current_a * sustained;
+  alive_s_ += sustained;
+  return sustained;
+}
+
+double Battery::sigma_after(double current_a, double t_s) const {
+  if (current_a < 0.0 || t_s < 0.0) {
+    throw std::invalid_argument(
+        "Battery::sigma_after: negative current or time");
+  }
+  return do_sigma_after(current_a, t_s);
+}
+
+void Battery::sigma_after_batch(std::span<const double> currents, double t_s,
+                                std::span<double> out) const {
+  if (t_s < 0.0) {
+    throw std::invalid_argument("Battery::sigma_after_batch: negative time");
+  }
+  if (out.size() < currents.size()) {
+    throw std::invalid_argument(
+        "Battery::sigma_after_batch: output span too short");
+  }
+  if (currents.empty()) {
+    return;
+  }
+  BAS_KC(++kc_.batch_calls; kc_.batch_lanes += currents.size());
+  do_sigma_after_batch(currents.data(), currents.size(), t_s, out.data());
 }
 
 void Battery::reset() {
   do_reset();
+  kc_.clear();
   delivered_c_ = 0.0;
   alive_s_ = 0.0;
 }

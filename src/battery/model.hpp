@@ -12,7 +12,10 @@
 // (mAh) and battery lifetime.
 
 #include <memory>
+#include <span>
 #include <string>
+
+#include "battery/kernel_counters.hpp"
 
 namespace bas::bat {
 
@@ -51,6 +54,29 @@ class Battery {
   /// overhead.) Returns the sustained duration, exactly like draw().
   double advance_interval(double charge_c, double dt_s);
 
+  /// Non-mutating depletion probe: the fraction of the cell's depletion
+  /// budget that would be consumed by continuing `current_a` for `t_s`
+  /// more seconds from the present state. A value >= 1.0 means the cell
+  /// would hit cutoff within the interval. The normalization makes one
+  /// contract fit every model: ideal and Peukert report consumed/rated
+  /// capacity, diffusion reports sigma(T)/alpha, the kinetic models
+  /// report 1 - y1_after/(c * capacity) (available-well depletion). The
+  /// probe never changes observable cell state — at most it warms the
+  /// same memo buffers the draw path keys on t.
+  double sigma_after(double current_a, double t_s) const;
+
+  /// Batch depletion probe: out[i] = sigma_after(currents[i], t_s),
+  /// bit-identical lane for lane to the scalar calls in sequence. The
+  /// default loops the scalar probe; diffusion/KiBaM/Peukert override it
+  /// so one rate-table/exp sweep at the shared t serves every lane.
+  /// Throws std::invalid_argument when out is shorter than currents.
+  void sigma_after_batch(std::span<const double> currents, double t_s,
+                         std::span<double> out) const;
+
+  /// Per-kernel cache/work counters (cleared by reset(); increments
+  /// compile out under BAS_KERNEL_COUNTERS=0).
+  const KernelCounters& kernel_counters() const noexcept { return kc_; }
+
   virtual bool empty() const = 0;
 
   /// Fraction of *total* stored charge remaining, in [0, 1]. Note that a
@@ -75,7 +101,31 @@ class Battery {
  protected:
   /// Model-specific state update; returns the sustained duration.
   virtual double do_draw(double current_a, double dt_s) = 0;
+  /// Model-specific interval advance behind advance_interval(). The
+  /// default is exactly do_draw; a kernel may override it with a faster
+  /// evaluation of the same closed form when the merged-window caller
+  /// tolerates documented non-bitwise arithmetic (diffusion's
+  /// strength-reduced series — see EXPERIMENTS.md, "Kernel
+  /// instrumentation & batching"). The per-slice draw() path never
+  /// routes through here, so window-0 and tick-engine runs stay
+  /// bit-frozen regardless of overrides.
+  virtual double do_advance_interval(double current_a, double dt_s) {
+    return do_draw(current_a, dt_s);
+  }
+  /// Scalar depletion probe behind sigma_after().
+  virtual double do_sigma_after(double current_a, double t_s) const = 0;
+  /// Batch probe behind sigma_after_batch(); default is the scalar loop.
+  virtual void do_sigma_after_batch(const double* currents, std::size_t n,
+                                    double t_s, double* out) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = do_sigma_after(currents[i], t_s);
+    }
+  }
   virtual void do_reset() = 0;
+
+  /// Incremented by the kernels via BAS_KC(...); mutable so const probe
+  /// paths (sigma_after, memo fills) can count their hits.
+  mutable KernelCounters kc_;
 
  private:
   double delivered_c_ = 0.0;

@@ -25,24 +25,46 @@ std::unique_ptr<Battery> PeukertBattery::fresh_clone() const {
   return std::make_unique<PeukertBattery>(params_);
 }
 
+double PeukertBattery::effective_rate(double current_a) const {
+  if (current_a == last_current_a_) {
+    BAS_KC(++kc_.pow_hits);
+    return last_rate_;
+  }
+  BAS_KC(++kc_.pow_misses);
+  const double ratio = std::max(1.0, current_a / params_.reference_current_a);
+  // pow(1, y) is exactly 1 (IEC 60559), so sub-reference currents can
+  // skip the call without perturbing a bit.
+  const double rate = ratio == 1.0
+                          ? current_a
+                          : current_a * std::pow(ratio, exponent_minus_one_);
+  last_current_a_ = current_a;
+  last_rate_ = rate;
+  return rate;
+}
+
+double PeukertBattery::do_sigma_after(double current_a, double t_s) const {
+  if (current_a <= 0.0) {
+    // No recovery and idling is free: depletion is simply the present
+    // consumed fraction, whatever t.
+    return consumed_c_ / params_.capacity_c;
+  }
+  return (consumed_c_ + effective_rate(current_a) * t_s) /
+         params_.capacity_c;
+}
+
+void PeukertBattery::do_sigma_after_batch(const double* currents,
+                                          std::size_t n, double t_s,
+                                          double* out) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = do_sigma_after(currents[i], t_s);
+  }
+}
+
 double PeukertBattery::do_draw(double current_a, double dt_s) {
   if (current_a <= 0.0) {
     return dt_s;  // Peukert has no recovery; idling is simply free
   }
-  // Effective drain rate (C/s), >= the physical current for I > Iref.
-  double rate;
-  if (current_a == last_current_a_) {
-    rate = last_rate_;
-  } else {
-    const double ratio =
-        std::max(1.0, current_a / params_.reference_current_a);
-    // pow(1, y) is exactly 1 (IEC 60559), so sub-reference currents can
-    // skip the call without perturbing a bit.
-    rate = ratio == 1.0 ? current_a
-                        : current_a * std::pow(ratio, exponent_minus_one_);
-    last_current_a_ = current_a;
-    last_rate_ = rate;
-  }
+  const double rate = effective_rate(current_a);
   const double head_room = params_.capacity_c - consumed_c_;
   if (rate * dt_s <= head_room) {
     consumed_c_ += rate * dt_s;

@@ -42,6 +42,15 @@ class PubsPriority final : public PriorityPolicy {
     }
     return x_k / denom;
   }
+
+  // One virtual dispatch per decision point; the inner calls
+  // devirtualize (final class), so each lane is the scalar score body.
+  void score_batch(const Candidate* candidates, std::size_t n, double now,
+                   double* out) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = score(candidates[i], now);
+    }
+  }
 };
 
 class LtfPriority final : public PriorityPolicy {
@@ -65,6 +74,14 @@ class RandomPriority final : public PriorityPolicy {
   explicit RandomPriority(std::uint64_t seed) : seed_(seed), rng_(seed) {}
   std::string name() const override { return "Random"; }
   double score(const Candidate&, double) override { return rng_.uniform(); }
+  // Lane i draws i-th — the same stream order as scalar calls in
+  // sequence, which the tick-vs-event CRN contract depends on.
+  void score_batch(const Candidate*, std::size_t n, double,
+                   double* out) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rng_.uniform();
+    }
+  }
   bool stochastic() const override { return true; }
   void reset() override { rng_ = util::Rng(seed_); }
 

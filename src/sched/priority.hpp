@@ -6,6 +6,7 @@
 // runs the lowest-scoring candidate that passes the feasibility check.
 // Scores need only be comparable within one decision instant.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -45,6 +46,19 @@ class PriorityPolicy {
   /// Score for one candidate at time `now`; lower runs first. Ties are
   /// broken deterministically by (graph, node) in the scheduler.
   virtual double score(const Candidate& candidate, double now) = 0;
+
+  /// Scores `n` candidates into `out` — out[i] must equal the scalar
+  /// score(candidates[i], now) call sequence bitwise, including any
+  /// internal random-stream consumption (the CRN contract). The default
+  /// loops the virtual scalar call; hot policies (pUBS, Random)
+  /// override it so the scheduler pays one virtual dispatch per
+  /// decision point instead of one per candidate.
+  virtual void score_batch(const Candidate* candidates, std::size_t n,
+                           double now, double* out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = score(candidates[i], now);
+    }
+  }
 
   /// True when score() consumes randomness from an internal stream.
   /// The event engine must then score every candidate in exactly the

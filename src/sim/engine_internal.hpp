@@ -164,7 +164,6 @@ struct Scratch {
   std::vector<dvs::GraphStatus> statuses;
   std::vector<int> edf;
   std::vector<ScoredCandidate> candidates;
-  // Event engine only:
   EventQueue queue;
   std::vector<WinSlice> win_slices;
 };

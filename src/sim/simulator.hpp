@@ -160,6 +160,12 @@ struct PerfCounters {
   /// engines jump idle gaps; the counter makes the sparse/dense mix of
   /// a scenario visible in perf reports).
   double idle_time_jumped_s = 0.0;
+  /// Per-kernel battery cache/work counters, copied from the attached
+  /// battery at the end of the run (all zero when no battery is
+  /// attached or the build compiled them out — check
+  /// bat::KernelCounters::compiled_in). See battery/kernel_counters.hpp
+  /// for field semantics.
+  bat::KernelCounters kernel;
 };
 
 struct SimResult {

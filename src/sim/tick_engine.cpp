@@ -326,6 +326,9 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
   if (battery != nullptr) {
     res.battery_lifetime_s = battery->time_alive_s();
     res.battery_delivered_mah = battery->charge_delivered_mah();
+    if (count_perf) {
+      res.perf.kernel = battery->kernel_counters();
+    }
   }
   return res;
 }

@@ -1,0 +1,341 @@
+// Batch-probe and instrumentation suite for the kernel work of PR 8:
+// the sigma_after_batch contract (bit-identical to the scalar probe
+// sequence, lane for lane, across every model and memo state including
+// post-bisection), the diffusion strength-reduced interval advance, the
+// per-kernel counters behind BAS_KERNEL_COUNTERS, and the batched
+// estimator / priority entry points' equivalence to their scalar call
+// sequences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "battery/diffusion.hpp"
+#include "battery/ideal.hpp"
+#include "battery/kibam.hpp"
+#include "battery/peukert.hpp"
+#include "battery/stochastic.hpp"
+#include "core/scheme.hpp"
+#include "scenario/scenario.hpp"
+#include "sched/estimator.hpp"
+#include "sched/priority.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace bas {
+namespace {
+
+constexpr double kCap = bat::to_coulombs(2000.0);
+
+std::vector<std::unique_ptr<bat::Battery>> all_models() {
+  std::vector<std::unique_ptr<bat::Battery>> models;
+  models.push_back(std::make_unique<bat::IdealBattery>(kCap));
+  models.push_back(std::make_unique<bat::PeukertBattery>(bat::PeukertParams{}));
+  models.push_back(
+      std::make_unique<bat::KibamBattery>(bat::KibamParams::paper_aaa_nimh()));
+  models.push_back(std::make_unique<bat::DiffusionBattery>(
+      bat::DiffusionParams::paper_aaa_nimh()));
+  models.push_back(
+      std::make_unique<bat::StochasticBattery>(bat::StochasticParams{}));
+  return models;
+}
+
+// Probe currents shaped like simulator traffic: idle, the paper
+// processor's three operating points, and an out-of-range heavy lane.
+const std::vector<double> kLanes = {0.0, 0.01, 0.3888, 0.98415, 1.8, 2.5};
+
+TEST(SigmaBatch, MatchesScalarBitwiseAcrossModels) {
+  for (const auto& model : all_models()) {
+    // Warm each cell with a mixed draw history so the probes run
+    // against mid-life state, not just the fresh cell.
+    model->draw(0.3888, 30.0);
+    model->draw(0.0, 10.0);
+    model->draw(1.8, 5.0);
+
+    std::vector<double> batch(kLanes.size());
+    // Repeated t values on purpose: the second pass must ride the
+    // t-keyed memos and still reproduce the scalar sequence exactly.
+    for (const double t : {0.0, 0.5, 37.5, 0.5, 3600.0, 37.5}) {
+      model->sigma_after_batch(kLanes, t, batch);
+      for (std::size_t i = 0; i < kLanes.size(); ++i) {
+        ASSERT_EQ(batch[i], model->sigma_after(kLanes[i], t))
+            << model->name() << " lane " << i << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(SigmaBatch, MatchesScalarAfterBisectionProbes) {
+  // Drive a diffusion cell through the cutoff bisection (80 probe
+  // rounds at shrinking t) so the decay memo holds a bisection
+  // midpoint, then check the batch still equals the scalar sequence.
+  bat::DiffusionBattery cell(bat::DiffusionParams::paper_aaa_nimh());
+  cell.draw(1.8, 3000.0);
+  const double sustained = cell.draw(5.0, 1e7);
+  ASSERT_TRUE(cell.empty());
+  ASSERT_GT(sustained, 0.0);
+  std::vector<double> batch(kLanes.size());
+  for (const double t : {0.25, 12.0, 0.25}) {
+    cell.sigma_after_batch(kLanes, t, batch);
+    for (std::size_t i = 0; i < kLanes.size(); ++i) {
+      ASSERT_EQ(batch[i], cell.sigma_after(kLanes[i], t)) << "lane " << i;
+    }
+  }
+}
+
+TEST(SigmaBatch, ProbeDoesNotPerturbDrawTrajectory) {
+  // Twin cells, identical draw sequence; one is probed heavily between
+  // draws. Every sustained duration and the transient state must stay
+  // bitwise equal — the probe contract ("never changes observable
+  // state").
+  bat::DiffusionBattery quiet(bat::DiffusionParams::paper_aaa_nimh());
+  bat::DiffusionBattery probed(bat::DiffusionParams::paper_aaa_nimh());
+  std::vector<double> sink(kLanes.size());
+  const double currents[] = {0.3888, 0.0, 1.8, 0.98415};
+  const double dts[] = {0.5, 7.0, 0.125, 42.0};
+  for (int round = 0; round < 200; ++round) {
+    const double i = currents[round % 4];
+    const double dt = dts[(round * 3) % 4];
+    probed.sigma_after_batch(kLanes, 0.75 * (round % 5), sink);
+    ASSERT_EQ(quiet.draw(i, dt), probed.draw(i, dt)) << "round " << round;
+    ASSERT_EQ(quiet.unavailable_c(), probed.unavailable_c())
+        << "round " << round;
+  }
+  EXPECT_EQ(quiet.charge_delivered_c(), probed.charge_delivered_c());
+}
+
+TEST(SigmaBatch, RejectsShortOutputAndNegativeTime) {
+  bat::IdealBattery cell(kCap);
+  std::vector<double> out(2);
+  EXPECT_THROW(cell.sigma_after_batch(kLanes, 1.0, out),
+               std::invalid_argument);
+  std::vector<double> ok(kLanes.size());
+  EXPECT_THROW(cell.sigma_after_batch(kLanes, -1.0, ok),
+               std::invalid_argument);
+}
+
+TEST(FastAdvance, NonDiffusionIntervalAdvanceIsBitwiseDraw) {
+  // Every kernel except diffusion leaves do_advance_interval at its
+  // default — exactly do_draw — so a merged-window advance must equal
+  // the equivalent draw to the last bit (this is what keeps window-0
+  // event runs byte-identical to tick runs).
+  auto draws = all_models();
+  auto advances = all_models();
+  for (std::size_t m = 0; m < draws.size(); ++m) {
+    if (draws[m]->name() == "diffusion") {
+      continue;  // overrides do_advance_interval; covered below
+    }
+    for (int round = 0; round < 50; ++round) {
+      const double i = (round % 3 == 0) ? 0.0 : 0.45 * (1 + round % 4);
+      const double dt = 0.5 + (round % 7);
+      // advance_interval reconstructs current as charge/dt; feed it the
+      // product so both paths see bitwise the same current.
+      const double charge = i * dt;
+      const double got = advances[m]->advance_interval(charge, dt);
+      const double want = draws[m]->draw(charge / dt, dt);
+      ASSERT_EQ(got, want) << draws[m]->name() << " round " << round;
+      ASSERT_EQ(advances[m]->charge_delivered_c(),
+                draws[m]->charge_delivered_c())
+          << draws[m]->name() << " round " << round;
+      ASSERT_EQ(advances[m]->state_of_charge(), draws[m]->state_of_charge())
+          << draws[m]->name() << " round " << round;
+    }
+  }
+}
+
+TEST(FastAdvance, DiffusionFastSeriesTracksExactSeries) {
+  // The strength-reduced series (x = e^{-β²t}, x^{m²} by recurrence) is
+  // the same mathematical sum as the per-term exp sweep, associated
+  // differently — so it is NOT bitwise, but must agree to far below any
+  // output precision. One cell advances through the fast path, the twin
+  // through the exact per-slice path.
+  bat::DiffusionBattery fast(bat::DiffusionParams::paper_aaa_nimh());
+  bat::DiffusionBattery exact(bat::DiffusionParams::paper_aaa_nimh());
+  const double currents[] = {1.8, 0.0, 0.98415, 0.3888};
+  for (int round = 0; round < 400 && !exact.empty(); ++round) {
+    const double i = currents[round % 4];
+    const double dt = 2.0 + (round % 9);
+    fast.advance_interval(i * dt, dt);
+    exact.draw(i, dt);
+    const double rel =
+        std::abs(fast.apparent_charge_c() - exact.apparent_charge_c()) /
+        exact.apparent_charge_c();
+    ASSERT_LT(rel, 1e-12) << "round " << round;
+  }
+  // Death through the fast bisection lands within the same tolerance.
+  const double fast_cut = fast.advance_interval(5.0 * 1e6, 1e6);
+  const double exact_cut = exact.draw(5.0, 1e6);
+  EXPECT_TRUE(fast.empty());
+  EXPECT_TRUE(exact.empty());
+  EXPECT_NEAR(fast_cut, exact_cut, 1e-6 * std::max(1.0, exact_cut));
+}
+
+TEST(Counters, DiffusionMemoAndFastPathAttribution) {
+  bat::DiffusionBattery cell(bat::DiffusionParams::paper_aaa_nimh());
+  const auto& kc = cell.kernel_counters();
+  if (!bat::KernelCounters::compiled_in) {
+    cell.draw(1.8, 0.5);
+    cell.advance_interval(0.9, 0.5);
+    EXPECT_EQ(kc.exp_calls, 0u);
+    EXPECT_EQ(kc.fast_advances, 0u);
+    EXPECT_EQ(kc.decay_misses, 0u);
+    return;  // the OFF config compiles every increment out
+  }
+  const auto terms = static_cast<std::uint64_t>(
+      bat::DiffusionParams::paper_aaa_nimh().series_terms);
+  // Three draws at one (current, dt): one decay sweep, then memo hits.
+  for (int i = 0; i < 3; ++i) {
+    cell.draw(1.8, 0.5);
+  }
+  EXPECT_EQ(cell.kernel_counters().exp_sweeps, 1u);
+  EXPECT_EQ(cell.kernel_counters().exp_calls, terms);
+  EXPECT_EQ(cell.kernel_counters().decay_misses, 1u);
+  EXPECT_GE(cell.kernel_counters().decay_hits, 2u);
+  EXPECT_EQ(cell.kernel_counters().gain_misses, 1u);
+  // A changed current at the same t refills only the gain lane.
+  cell.draw(0.3888, 0.5);
+  EXPECT_EQ(cell.kernel_counters().exp_sweeps, 1u);
+  EXPECT_EQ(cell.kernel_counters().gain_misses, 2u);
+  // The merged-window fast path: one scalar exp per advance, no sweep.
+  const auto exps_before = cell.kernel_counters().exp_calls;
+  cell.advance_interval(1.8 * 4.0, 4.0);
+  EXPECT_EQ(cell.kernel_counters().fast_advances, 1u);
+  EXPECT_EQ(cell.kernel_counters().exp_calls, exps_before + 1);
+  EXPECT_EQ(cell.kernel_counters().exp_sweeps, 1u);
+  // Batch accounting and reset.
+  std::vector<double> out(kLanes.size());
+  cell.sigma_after_batch(kLanes, 2.0, out);
+  EXPECT_EQ(cell.kernel_counters().batch_calls, 1u);
+  EXPECT_EQ(cell.kernel_counters().batch_lanes, kLanes.size());
+  cell.reset();
+  EXPECT_EQ(cell.kernel_counters().exp_calls, 0u);
+  EXPECT_EQ(cell.kernel_counters().fast_advances, 0u);
+}
+
+TEST(Counters, KibamAndPeukertAttribution) {
+  if (!bat::KernelCounters::compiled_in) {
+    GTEST_SKIP() << "BAS_KERNEL_COUNTERS=0 build";
+  }
+  bat::KibamBattery kibam(bat::KibamParams::paper_aaa_nimh());
+  kibam.draw(0.9, 10.0);
+  kibam.draw(0.0, 5.0);
+  EXPECT_GE(kibam.kernel_counters().kibam_shared_exps, 2u);
+
+  bat::PeukertBattery peukert{bat::PeukertParams{}};
+  for (int i = 0; i < 4; ++i) {
+    peukert.draw(0.9, 10.0);
+  }
+  peukert.draw(1.8, 10.0);
+  EXPECT_EQ(peukert.kernel_counters().pow_misses, 2u);  // two distinct rates
+  EXPECT_GE(peukert.kernel_counters().pow_hits, 3u);
+}
+
+TEST(Batch, HistoryEstimatorBatchMatchesScalarSequence) {
+  auto batched = sched::make_history_estimator(0.3);
+  auto scalar = sched::make_history_estimator(0.3);
+  for (int round = 0; round < 5; ++round) {
+    batched->observe(0, 1, 4000.0 + 100.0 * round);
+    scalar->observe(0, 1, 4000.0 + 100.0 * round);
+  }
+  batched->observe(2, 0, 900.0);
+  scalar->observe(2, 0, 900.0);
+  // Seen, unseen-node, unseen-graph lanes in one batch.
+  const std::vector<sched::EstimateQuery> queries = {
+      {0, 1, 5000.0, 4100.0},
+      {0, 7, 5000.0, 4100.0},
+      {5, 0, 1000.0, 700.0},
+      {2, 0, 1200.0, 800.0},
+  };
+  std::vector<double> out(queries.size());
+  batched->estimate_batch(queries.data(), queries.size(), out.data());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(out[i],
+              scalar->estimate(queries[i].graph, queries[i].node,
+                               queries[i].wc_cycles,
+                               queries[i].actual_cycles))
+        << "lane " << i;
+  }
+}
+
+std::vector<sched::Candidate> sample_candidates() {
+  std::vector<sched::Candidate> cands;
+  for (int i = 0; i < 5; ++i) {
+    sched::Candidate c;
+    c.graph = i % 3;
+    c.node = static_cast<tg::NodeId>(i);
+    c.wc_cycles = 5.0e5 * (i + 1);
+    c.estimate_cycles = 3.1e5 * (i + 1);
+    c.graph_abs_deadline_s = 0.25 * (i + 2);
+    c.graph_remaining_wc_cycles = 2.0e6 - 1.0e5 * i;
+    c.edf_position = i % 3;
+    cands.push_back(c);
+  }
+  return cands;
+}
+
+TEST(Batch, PubsScoreBatchMatchesScalarSequence) {
+  auto policy = sched::make_pubs_priority();
+  const auto cands = sample_candidates();
+  std::vector<double> out(cands.size());
+  policy->score_batch(cands.data(), cands.size(), 0.1, out.data());
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    ASSERT_EQ(out[i], policy->score(cands[i], 0.1)) << "lane " << i;
+  }
+}
+
+TEST(Batch, RandomScoreBatchConsumesStreamExactlyLikeScalar) {
+  // The CRN contract: the batch must advance the internal stream draw
+  // for draw like the scalar sequence, so two same-seed policies stay
+  // aligned through mixed batch/scalar use.
+  auto batched = sched::make_random_priority(99);
+  auto scalar = sched::make_random_priority(99);
+  const auto cands = sample_candidates();
+  std::vector<double> out(cands.size());
+  batched->score_batch(cands.data(), cands.size(), 0.0, out.data());
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    ASSERT_EQ(out[i], scalar->score(cands[i], 0.0)) << "lane " << i;
+  }
+  // Streams are still in lockstep after the batch.
+  EXPECT_EQ(batched->score(cands[0], 1.0), scalar->score(cands[0], 1.0));
+}
+
+TEST(EngineCounters, EventEngineRoutesMergedWindowsThroughFastPath) {
+  if (!bat::KernelCounters::compiled_in) {
+    GTEST_SKIP() << "BAS_KERNEL_COUNTERS=0 build";
+  }
+  const auto& spec = scenario::scenario("paper-table2");
+  util::Rng rng(7);
+  const auto set = spec.make_workload(rng);
+  const auto proc = spec.make_processor();
+  auto config = spec.sim_config(util::Rng::hash_combine(7, 1000u));
+  config.engine = sim::Engine::kEvent;
+  config.record_perf_counters = true;
+  config.horizon_s = 3600.0;
+
+  bat::DiffusionBattery merged(bat::DiffusionParams::paper_aaa_nimh());
+  const auto with_window = sim::simulate_scheme(
+      set, proc, core::SchemeKind::kBas2, config, &merged);
+  // Merged windows all route through the strength-reduced advance: no
+  // per-term sweeps, one exp per advance probe.
+  EXPECT_GT(with_window.perf.battery_interval_advances, 0u);
+  EXPECT_GE(with_window.perf.kernel.fast_advances,
+            with_window.perf.battery_interval_advances);
+  EXPECT_EQ(with_window.perf.kernel.exp_sweeps, 0u);
+  EXPECT_GT(with_window.perf.kernel.exp_calls, 0u);
+
+  // Window 0 disables merging: every slice takes the exact per-term
+  // path (bit-frozen against the tick engine), no fast advances at all.
+  config.battery_window_s = 0.0;
+  bat::DiffusionBattery exact(bat::DiffusionParams::paper_aaa_nimh());
+  const auto no_window = sim::simulate_scheme(
+      set, proc, core::SchemeKind::kBas2, config, &exact);
+  EXPECT_EQ(no_window.perf.kernel.fast_advances, 0u);
+  EXPECT_GT(no_window.perf.kernel.exp_sweeps, 0u);
+  EXPECT_GT(no_window.perf.kernel.decay_hits, 0u);
+}
+
+}  // namespace
+}  // namespace bas
