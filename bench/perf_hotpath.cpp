@@ -10,16 +10,27 @@
 // so every cell of one rep times the same task-graph sets (CRN for
 // perf: a cell ratio is a code ratio, not a workload ratio).
 //
-// Outputs BENCH_perf.json (schema documented in EXPERIMENTS.md,
-// "Performance"). The numbers are machine-dependent wall-clock rates —
-// they are NOT covered by the byte-identity contract and never feed a
-// resume cache; the counters underneath them are deterministic.
+// Outputs BENCH_perf.json (schema "bas-perf/3", documented in
+// EXPERIMENTS.md, "Performance"): per-cell counters, rates, the flat
+// k_* kernel counters and the flat ph_* phase-profile fields — all
+// driven off one obs::Metrics registry so the schema cannot drift from
+// the metric names. The numbers are machine-dependent wall-clock rates
+// — they are NOT covered by the byte-identity contract and never feed
+// a resume cache; the counters underneath them are deterministic.
+//
+// In BAS_PROFILE builds a per-phase table shows where the step time
+// goes, measured on one dedicated profiled rep per cell — the timed
+// reps never arm the phase clock, so the gated rates stay clean;
+// --trace-out FILE additionally writes a Chrome-trace JSON (one
+// untimed audit rep in direct mode, the runner's campaign trace in
+// --campaign mode) for Perfetto / chrome://tracing.
 //
 //   ./perf_hotpath --smoke                  # CI-sized cells, ~seconds
 //   ./perf_hotpath --full                   # all schemes x batteries
 //   ./perf_hotpath --smoke --baseline ../bench/perf_baseline.json
 //   ./perf_hotpath --smoke --write-baseline perf_baseline.json
 //   ./perf_hotpath --smoke --campaign --cache DIR [--store sqlite]
+//   ./perf_hotpath --smoke --trace-out trace.json
 //
 // With --baseline, the run fails (exit 1) when any matching cell's
 // steps/sec falls more than --max-regress (default 0.30) below the
@@ -47,6 +58,9 @@
 #include "exp/experiment.hpp"
 #include "exp/factories.hpp"
 #include "exp/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_log.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "store/store.hpp"
@@ -75,6 +89,13 @@ struct CellResult {
   std::uint64_t scratch_grows = 0;
   double elapsed_s = 0.0;
   bas::bat::KernelCounters kernel;
+  bas::obs::PhaseProfile phases;  ///< all zero unless BAS_PROFILE builds
+  std::uint64_t ph_laps = 0;      ///< total phase boundaries clocked
+  /// Wall time of the dedicated PROFILED rep the phases came from —
+  /// the denominator of the sum/elapsed coverage column. Kept apart
+  /// from elapsed_s (the timed, unprofiled reps): profiling reads a
+  /// clock per phase boundary, which would distort the gated rates.
+  double profile_elapsed_s = 0.0;
 
   double per_sec(double count) const {
     return elapsed_s > 0.0 ? count / elapsed_s : 0.0;
@@ -110,15 +131,27 @@ std::size_t scheme_index(const std::string& label) {
 }
 
 /// Metric lane order shared by the direct loop and the campaign
-/// pipeline: 6 hot-path lanes followed by the 12 per-kernel battery
-/// counters in KernelCounters declaration order. Counters are exact in
-/// doubles (far below 2^53).
-const std::vector<std::string> kMetricNames = {
-    "steps",       "battery_draws", "battery_interval_advances",
-    "candidates_scored", "scratch_grows", "elapsed_s",
-    "k_exp_sweeps", "k_exp_calls",  "k_decay_hits", "k_decay_misses",
-    "k_gain_hits",  "k_gain_misses", "k_kibam_shared_exps", "k_pow_hits",
-    "k_pow_misses", "k_batch_calls", "k_batch_lanes", "k_fast_advances"};
+/// pipeline: 6 hot-path lanes, the 12 per-kernel battery counters in
+/// KernelCounters declaration order, then the phase profile — 7
+/// per-phase ns lanes (obs::phase_field order) plus the total boundary
+/// count. Counters are exact in doubles (far below 2^53); the ph_*
+/// lanes are non-zero only on a profiled rep (BAS_PROFILE builds,
+/// record_phase_profile set) — timed and campaign reps never profile,
+/// so their ph_* lanes are zero by construction.
+const std::vector<std::string> make_metric_names() {
+  std::vector<std::string> names = {
+      "steps",       "battery_draws", "battery_interval_advances",
+      "candidates_scored", "scratch_grows", "elapsed_s",
+      "k_exp_sweeps", "k_exp_calls",  "k_decay_hits", "k_decay_misses",
+      "k_gain_hits",  "k_gain_misses", "k_kibam_shared_exps", "k_pow_hits",
+      "k_pow_misses", "k_batch_calls", "k_batch_lanes", "k_fast_advances"};
+  for (int p = 0; p < obs::kPhaseCount; ++p) {
+    names.push_back(obs::phase_field(static_cast<obs::Phase>(p)));
+  }
+  names.push_back("ph_laps");
+  return names;
+}
+const std::vector<std::string> kMetricNames = make_metric_names();
 
 void fold_metrics(CellResult* out, const std::vector<double>& m) {
   auto u64 = [](double v) { return static_cast<std::uint64_t>(v); };
@@ -142,11 +175,19 @@ void fold_metrics(CellResult* out, const std::vector<double>& m) {
   k.batch_calls += u64(m[15]);
   k.batch_lanes += u64(m[16]);
   k.fast_advances += u64(m[17]);
+  for (int p = 0; p < obs::kPhaseCount; ++p) {
+    out->phases.ns[p] += u64(m[18 + static_cast<std::size_t>(p)]);
+  }
+  out->ph_laps += u64(m[18 + obs::kPhaseCount]);
 }
 
 /// Times one replicate of one cell: the clock wraps simulate_scheme
-/// only. Returns the kMetricNames lanes.
-std::vector<double> time_rep(const Cell& cell, std::uint64_t seed, int rep) {
+/// only. Returns the kMetricNames lanes. `profile` arms the phase
+/// clock (BAS_PROFILE builds) — never set it on a rep whose rates are
+/// gated; the boundary clock reads cost tens of percent on dense
+/// cells, so the profiled rep is a separate, un-gated run.
+std::vector<double> time_rep(const Cell& cell, std::uint64_t seed, int rep,
+                             bool profile = false) {
   const auto& scn = scenario::scenario(cell.scenario);
   const auto proc = scn.make_processor();
   const auto kind = exp::scheme_kind_at(scheme_index(cell.scheme));
@@ -158,6 +199,7 @@ std::vector<double> time_rep(const Cell& cell, std::uint64_t seed, int rep) {
   const auto set = scn.make_workload(rng);
   auto config = scn.sim_config(util::Rng::hash_combine(rep_seed, 1000u));
   config.record_perf_counters = true;
+  config.record_phase_profile = profile;
   config.engine = sim::engine_from_string(cell.engine);
   const auto battery = exp::make_battery(cell.battery);
 
@@ -167,24 +209,31 @@ std::vector<double> time_rep(const Cell& cell, std::uint64_t seed, int rep) {
   const auto t1 = std::chrono::steady_clock::now();
   const auto& k = r.perf.kernel;
   auto d = [](std::uint64_t v) { return static_cast<double>(v); };
-  return {d(r.perf.steps),
-          d(r.perf.battery_draws),
-          d(r.perf.battery_interval_advances),
-          d(r.perf.candidates_scored),
-          d(r.perf.scratch_grows),
-          std::chrono::duration<double>(t1 - t0).count(),
-          d(k.exp_sweeps),
-          d(k.exp_calls),
-          d(k.decay_hits),
-          d(k.decay_misses),
-          d(k.gain_hits),
-          d(k.gain_misses),
-          d(k.kibam_shared_exps),
-          d(k.pow_hits),
-          d(k.pow_misses),
-          d(k.batch_calls),
-          d(k.batch_lanes),
-          d(k.fast_advances)};
+  std::vector<double> lanes = {d(r.perf.steps),
+                               d(r.perf.battery_draws),
+                               d(r.perf.battery_interval_advances),
+                               d(r.perf.candidates_scored),
+                               d(r.perf.scratch_grows),
+                               std::chrono::duration<double>(t1 - t0).count(),
+                               d(k.exp_sweeps),
+                               d(k.exp_calls),
+                               d(k.decay_hits),
+                               d(k.decay_misses),
+                               d(k.gain_hits),
+                               d(k.gain_misses),
+                               d(k.kibam_shared_exps),
+                               d(k.pow_hits),
+                               d(k.pow_misses),
+                               d(k.batch_calls),
+                               d(k.batch_lanes),
+                               d(k.fast_advances)};
+  std::uint64_t laps = 0;
+  for (int p = 0; p < obs::kPhaseCount; ++p) {
+    lanes.push_back(d(r.perf.phases.ns[p]));
+    laps += r.perf.phases.laps[p];
+  }
+  lanes.push_back(d(laps));
+  return lanes;
 }
 
 CellResult time_cell(const Cell& cell, int sets, std::uint64_t seed) {
@@ -193,7 +242,49 @@ CellResult time_cell(const Cell& cell, int sets, std::uint64_t seed) {
   for (int rep = 0; rep < sets; ++rep) {
     fold_metrics(&out, time_rep(cell, seed, rep));
   }
+  if (obs::PhaseProfile::compiled_in) {
+    // One dedicated profiled rep fills the ph_* lanes; its own wall
+    // time is the coverage denominator. The timed reps above stay
+    // unprofiled so the gated rates measure the loop, not the clock.
+    const auto lanes = time_rep(cell, seed, 0, /*profile=*/true);
+    auto u64 = [](double v) { return static_cast<std::uint64_t>(v); };
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+      out.phases.ns[p] = u64(lanes[18 + static_cast<std::size_t>(p)]);
+    }
+    out.ph_laps = u64(lanes[18 + obs::kPhaseCount]);
+    out.profile_elapsed_s = lanes[5];
+  }
   return out;
+}
+
+/// --trace-out in direct mode: one untimed rep 0 of `cell` with the
+/// Chrome-trace sink attached — execution-slice spans and release /
+/// completion instants on the sim-time tracks, plus per-step phase
+/// spans under BAS_PROFILE. Load the file in Perfetto or
+/// chrome://tracing.
+void write_direct_trace(const Cell& cell, std::uint64_t seed,
+                        const std::string& path) {
+  const auto& scn = scenario::scenario(cell.scenario);
+  const auto proc = scn.make_processor();
+  const auto kind = exp::scheme_kind_at(scheme_index(cell.scheme));
+  const std::uint64_t rep_seed = util::Rng::hash_combine(seed, 0u);
+  util::Rng rng(rep_seed);
+  const auto set = scn.make_workload(rng);
+  auto config = scn.sim_config(util::Rng::hash_combine(rep_seed, 1000u));
+  config.record_perf_counters = true;
+  config.record_phase_profile = true;  // phase spans on the wall-clock track
+  config.record_trace = true;  // per-slice accounting, no battery merging
+  config.engine = sim::engine_from_string(cell.engine);
+  const auto battery = exp::make_battery(cell.battery);
+
+  obs::TraceLog log;
+  log.name_process(obs::kSimPid, "sim: " + cell.scenario + "/" + cell.scheme +
+                                     "/" + cell.battery + "/" + cell.engine);
+  log.name_process(obs::kProfilerPid, "profiler phases (wall clock)");
+  config.trace_log = &log;
+  sim::simulate_scheme(set, proc, kind, config, battery.get());
+  log.write(path);
+  std::printf("\nwrote trace %s (%zu events)\n", path.c_str(), log.size());
 }
 
 /// Campaign mode: the identical cells as per-rep jobs through the full
@@ -236,7 +327,48 @@ std::vector<CellResult> run_campaign(const std::vector<Cell>& cells,
   return out;
 }
 
-constexpr const char* kSchema = "bas-perf/2";
+constexpr const char* kSchema = "bas-perf/3";
+
+/// The flat numeric fields of one bas-perf/3 cell, as a metrics
+/// registry in schema order. One builder serves the JSON emitter and
+/// any future consumer, so the cell schema and the registry names
+/// cannot drift apart.
+obs::Metrics cell_metrics(const CellResult& r) {
+  obs::Metrics metrics;
+  auto u = [](std::uint64_t v) { return static_cast<double>(v); };
+  metrics.set("sims", u(r.sims));
+  metrics.set("steps", u(r.steps));
+  metrics.set("battery_draws", u(r.battery_draws));
+  metrics.set("battery_interval_advances", u(r.battery_interval_advances));
+  metrics.set("candidates_scored", u(r.candidates_scored));
+  metrics.set("scratch_grows", u(r.scratch_grows));
+  metrics.set("elapsed_s", r.elapsed_s, obs::MetricKind::kGauge);
+  metrics.set("steps_per_sec", r.steps_per_sec(), obs::MetricKind::kGauge);
+  metrics.set("draws_per_sec", r.draws_per_sec(), obs::MetricKind::kGauge);
+  metrics.set("advances_per_sec", r.advances_per_sec(),
+              obs::MetricKind::kGauge);
+  metrics.set("sims_per_sec", r.sims_per_sec(), obs::MetricKind::kGauge);
+  const auto& k = r.kernel;
+  metrics.set("k_exp_sweeps", u(k.exp_sweeps));
+  metrics.set("k_exp_calls", u(k.exp_calls));
+  metrics.set("k_decay_hits", u(k.decay_hits));
+  metrics.set("k_decay_misses", u(k.decay_misses));
+  metrics.set("k_gain_hits", u(k.gain_hits));
+  metrics.set("k_gain_misses", u(k.gain_misses));
+  metrics.set("k_kibam_shared_exps", u(k.kibam_shared_exps));
+  metrics.set("k_pow_hits", u(k.pow_hits));
+  metrics.set("k_pow_misses", u(k.pow_misses));
+  metrics.set("k_batch_calls", u(k.batch_calls));
+  metrics.set("k_batch_lanes", u(k.batch_lanes));
+  metrics.set("k_fast_advances", u(k.fast_advances));
+  for (int p = 0; p < obs::kPhaseCount; ++p) {
+    metrics.set(obs::phase_field(static_cast<obs::Phase>(p)),
+                u(r.phases.ns[p]));
+  }
+  metrics.set("ph_laps", u(r.ph_laps));
+  metrics.set("ph_elapsed_s", r.profile_elapsed_s, obs::MetricKind::kGauge);
+  return metrics;
+}
 
 std::string to_json(const std::vector<CellResult>& results,
                     const std::string& mode, int sets, std::uint64_t seed) {
@@ -247,55 +379,23 @@ std::string to_json(const std::vector<CellResult>& results,
   out << "  \"seed\": " << seed << ",\n";
   out << "  \"kernel_counters_compiled_in\": "
       << (bat::KernelCounters::compiled_in ? "true" : "false") << ",\n";
+  out << "  \"profile_compiled_in\": "
+      << (obs::PhaseProfile::compiled_in ? "true" : "false") << ",\n";
   out << "  \"cells\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
-    char line[1024];
-    // The kernel counters stay FLAT keys inside the cell object: the
+    // Every numeric field stays FLAT inside the cell object: the
     // baseline loader chunks the file on braces, so a nested object
-    // would split a cell in two.
-    const auto& k = r.kernel;
-    std::snprintf(
-        line, sizeof(line),
-        "    {\"scenario\": \"%s\", \"scheme\": \"%s\", \"battery\": "
-        "\"%s\", \"engine\": \"%s\", "
-        "\"sims\": %llu, \"steps\": %llu, \"battery_draws\": %llu, "
-        "\"battery_interval_advances\": %llu, "
-        "\"candidates_scored\": %llu, \"scratch_grows\": %llu, "
-        "\"elapsed_s\": %.6g, \"steps_per_sec\": %.6g, "
-        "\"draws_per_sec\": %.6g, \"advances_per_sec\": %.6g, "
-        "\"sims_per_sec\": %.6g, "
-        "\"k_exp_sweeps\": %llu, \"k_exp_calls\": %llu, "
-        "\"k_decay_hits\": %llu, \"k_decay_misses\": %llu, "
-        "\"k_gain_hits\": %llu, \"k_gain_misses\": %llu, "
-        "\"k_kibam_shared_exps\": %llu, "
-        "\"k_pow_hits\": %llu, \"k_pow_misses\": %llu, "
-        "\"k_batch_calls\": %llu, \"k_batch_lanes\": %llu, "
-        "\"k_fast_advances\": %llu}%s\n",
-        r.cell.scenario.c_str(), r.cell.scheme.c_str(),
-        r.cell.battery.c_str(), r.cell.engine.c_str(),
-        static_cast<unsigned long long>(r.sims),
-        static_cast<unsigned long long>(r.steps),
-        static_cast<unsigned long long>(r.battery_draws),
-        static_cast<unsigned long long>(r.battery_interval_advances),
-        static_cast<unsigned long long>(r.candidates_scored),
-        static_cast<unsigned long long>(r.scratch_grows), r.elapsed_s,
-        r.steps_per_sec(), r.draws_per_sec(), r.advances_per_sec(),
-        r.sims_per_sec(),
-        static_cast<unsigned long long>(k.exp_sweeps),
-        static_cast<unsigned long long>(k.exp_calls),
-        static_cast<unsigned long long>(k.decay_hits),
-        static_cast<unsigned long long>(k.decay_misses),
-        static_cast<unsigned long long>(k.gain_hits),
-        static_cast<unsigned long long>(k.gain_misses),
-        static_cast<unsigned long long>(k.kibam_shared_exps),
-        static_cast<unsigned long long>(k.pow_hits),
-        static_cast<unsigned long long>(k.pow_misses),
-        static_cast<unsigned long long>(k.batch_calls),
-        static_cast<unsigned long long>(k.batch_lanes),
-        static_cast<unsigned long long>(k.fast_advances),
-        i + 1 < results.size() ? "," : "");
-    out << line;
+    // would split a cell in two. The fields and their order come from
+    // the cell_metrics registry.
+    out << "    {\"scenario\": \"" << r.cell.scenario << "\", \"scheme\": \""
+        << r.cell.scheme << "\", \"battery\": \"" << r.cell.battery
+        << "\", \"engine\": \"" << r.cell.engine << "\"";
+    const obs::Metrics metrics = cell_metrics(r);
+    for (const auto& entry : metrics.entries()) {
+      out << ", \"" << entry.name << "\": " << obs::format_value(entry.value);
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   return out.str();
@@ -459,6 +559,7 @@ int main(int argc, char** argv) {
                    {"jobs", "1"},
                    {"cache", ""},
                    {"store", "jsonl"},
+                   {"trace-out", ""},
                    {"engine", "both"},
                    {"scenarios", ""},
                    {"schemes", ""},
@@ -543,10 +644,19 @@ int main(int argc, char** argv) {
       options.jobs = cli.jobs();
       options.cache_dir = cli.get("cache");
       options.store_backend = store::backend_from_label(cli.get("store"));
+      // Campaign mode: --trace-out records the runner-level trace (job
+      // spans per worker, writer queue depth), not a sim-level one.
+      options.trace_out = cli.get("trace-out");
       results = run_campaign(cells, sets, seed, options);
     } else {
       for (const auto& cell : cells) {
         results.push_back(time_cell(cell, sets, seed));
+      }
+      // Direct mode: --trace-out records one extra UNTIMED rep of the
+      // first cell with the trace sink attached — the timed loop above
+      // stays instrumentation-free.
+      if (const auto path = cli.get("trace-out"); !path.empty()) {
+        write_direct_trace(cells.front(), seed, path);
       }
     }
 
@@ -592,6 +702,53 @@ int main(int argc, char** argv) {
              util::Table::num(static_cast<long long>(k.fast_advances))});
       }
       ktable.print();
+    }
+
+    // Per-phase profile table (BAS_PROFILE builds): where the measured
+    // step time goes, from each cell's dedicated profiled rep.
+    // `sum/elapsed` is the coverage ratio against that rep's own wall
+    // time — the phases partition the loop body, so on dense cells the
+    // phase sum should account for most of it (the remainder is the
+    // clock reads themselves plus setup/teardown outside the loop).
+    // Campaign-mode cells carry no profiled rep and are skipped.
+    if (obs::PhaseProfile::compiled_in) {
+      std::printf("\nper-phase profile (%% of phase total):\n");
+      std::vector<std::string> header{"scenario", "scheme", "battery",
+                                      "engine"};
+      for (int p = 0; p < obs::kPhaseCount; ++p) {
+        header.push_back(obs::phase_name(static_cast<obs::Phase>(p)));
+      }
+      header.push_back("sum_ms");
+      header.push_back("sum/elapsed");
+      util::Table ptable(header);
+      bool any = false;
+      for (const auto& r : results) {
+        const double total = static_cast<double>(r.phases.total_ns());
+        if (!(total > 0.0)) {
+          continue;
+        }
+        any = true;
+        std::vector<std::string> row{r.cell.scenario, r.cell.scheme,
+                                     r.cell.battery, r.cell.engine};
+        for (int p = 0; p < obs::kPhaseCount; ++p) {
+          const double share =
+              100.0 * static_cast<double>(r.phases.ns[p]) / total;
+          char buffer[16];
+          std::snprintf(buffer, sizeof(buffer), "%.1f%%", share);
+          row.push_back(buffer);
+        }
+        row.push_back(util::Table::num(total / 1e6, 1));
+        row.push_back(util::Table::num(
+            r.profile_elapsed_s > 0.0 ? total / 1e9 / r.profile_elapsed_s
+                                      : 0.0,
+            2));
+        ptable.add_row(row);
+      }
+      if (any) {
+        ptable.print();
+      } else {
+        std::printf("  (campaign mode: no profiled rep per cell)\n");
+      }
     }
 
     // Event-vs-tick speedup per cell, measured on end-to-end sims/sec —

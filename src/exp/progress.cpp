@@ -4,10 +4,12 @@
 
 namespace bas::exp {
 
-Progress::Progress(std::string title, std::size_t total, bool enabled)
+Progress::Progress(std::string title, std::size_t total, bool enabled,
+                   double interval_s)
     : title_(std::move(title)),
       total_(total),
       enabled_(enabled),
+      interval_s_(interval_s),
       start_(std::chrono::steady_clock::now()),
       last_print_(start_) {}
 
@@ -27,7 +29,7 @@ void Progress::tick() {
   const auto now = std::chrono::steady_clock::now();
   const double since_print =
       std::chrono::duration<double>(now - last_print_).count();
-  if (done != total_ && since_print < 0.5) {
+  if (done != total_ && since_print < interval_s_) {
     return;
   }
   last_print_ = now;

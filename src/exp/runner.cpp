@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "exp/progress.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_log.hpp"
 #include "store/async_writer.hpp"
 #include "store/store.hpp"
 #include "util/cli.hpp"
@@ -51,10 +53,18 @@ class WorkQueue {
   }
 
   /// Claims the next position in [0, total), or npos when every range
-  /// is exhausted. Each position is returned exactly once.
-  std::size_t claim(std::size_t worker) {
+  /// is exhausted. Each position is returned exactly once. `stole`,
+  /// when non-null, reports whether the claim came from another
+  /// worker's range — the campaign trace marks those.
+  std::size_t claim(std::size_t worker, bool* stole = nullptr) {
+    if (stole != nullptr) {
+      *stole = false;
+    }
     if (const std::size_t k = take(worker % worker_count_); k != npos) {
       return k;
+    }
+    if (stole != nullptr) {
+      *stole = true;
     }
     // Steal from the victim with the most remaining work; rescan on a
     // lost race until everything is exhausted.
@@ -286,7 +296,18 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
 
   // ---- execute: pool over pending jobs, store + progress as we go ----
   std::vector<std::vector<double>> results(n_jobs);
-  Progress progress(spec.title, pending.size(), options_.progress);
+  Progress progress(spec.title, pending.size(), options_.progress,
+                    options_.progress_interval_s);
+
+  // Campaign trace (--trace-out): per-job spans on per-worker tracks,
+  // retry/steal/fail markers, the writer's queue-depth counter. The log
+  // is observational only — it never feeds results or the store.
+  std::optional<obs::TraceLog> trace;
+  if (!options_.trace_out.empty()) {
+    trace.emplace();
+    trace->name_process(obs::kCampaignPid, "campaign: " + spec.title);
+  }
+  obs::TraceLog* const tlog = trace ? &*trace : nullptr;
   if (compaction) {
     progress.note("compacted store '" + options_.cache_dir + "': kept " +
                   std::to_string(compaction->records_kept) + " of " +
@@ -307,8 +328,15 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
   std::optional<store::AsyncWriter> writer;
   if (cache && !pending.empty()) {
     cache->annotate(spec.title, spec.metrics);
-    writer.emplace(*cache, options_.writer_queue_capacity);
-    progress.set_stats([&writer] { return writer->stats().summary(); });
+    writer.emplace(*cache, options_.writer_queue_capacity, tlog);
+    // Heartbeat suffix: a metrics-registry snapshot of the writer
+    // counters, so the heartbeat and BENCH_perf.json speak the same
+    // metric names.
+    progress.set_stats([&writer] {
+      obs::Metrics metrics;
+      obs::fill(metrics, writer->stats());
+      return metrics.render_compact();
+    });
   }
 
   std::mutex error_mutex;
@@ -329,11 +357,19 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
 
   auto work = [&](std::size_t worker) {
     while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t k = queue.claim(worker);
+      bool stole = false;
+      const std::size_t k = queue.claim(worker, &stole);
       if (k == WorkQueue::npos) {
         return;
       }
       const Job& job = plan.job(pending[k]);
+      const int tid = static_cast<int>(worker);
+      if (tlog != nullptr && stole) {
+        tlog->instant("steal", obs::kCampaignPid, tid,
+                      tlog->now_us(),
+                      "{\"job\": " + std::to_string(job.index) + "}");
+      }
+      const double job_t0 = tlog != nullptr ? tlog->now_us() : 0.0;
       const int attempts = options_.job_attempts;
       for (int attempt = 1; attempt <= attempts; ++attempt) {
         std::string what;
@@ -352,6 +388,13 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
             writer->enqueue(std::move(record));
           }
           results[job.index] = std::move(metrics);
+          if (tlog != nullptr) {
+            const double now = tlog->now_us();
+            tlog->span(plan.describe(job), obs::kCampaignPid, tid, job_t0,
+                       now - job_t0,
+                       "{\"job\": " + std::to_string(job.index) +
+                           ", \"attempt\": " + std::to_string(attempt) + "}");
+          }
           progress.tick();
           break;
         } catch (const std::exception& e) {
@@ -360,6 +403,12 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
           what = "non-standard exception";
         }
         if (attempt < attempts) {
+          if (tlog != nullptr) {
+            tlog->instant("retry", obs::kCampaignPid, tid, tlog->now_us(),
+                          "{\"job\": " + std::to_string(job.index) +
+                              ", \"attempt\": " + std::to_string(attempt) +
+                              "}");
+          }
           // Exponential backoff before the retry: transient failures
           // (I/O hiccups, load-induced deadline misses) get room to
           // clear without hammering.
@@ -391,6 +440,15 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
               if (first_failure.empty()) {
                 first_failure = described;
               }
+            }
+            if (tlog != nullptr) {
+              const double now = tlog->now_us();
+              tlog->instant("fail", obs::kCampaignPid, tid, now,
+                            "{\"job\": " + std::to_string(job.index) + "}");
+              tlog->span(plan.describe(job), obs::kCampaignPid, tid, job_t0,
+                         now - job_t0,
+                         "{\"job\": " + std::to_string(job.index) +
+                             ", \"failed\": true}");
             }
             progress.tick();
             break;
@@ -442,6 +500,20 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) const {
                   std::to_string(stats.batches) + " batch(es), " +
                   stats.summary());
     writer.reset();
+  }
+
+  // Write the campaign trace even when a job failed — a trace of the
+  // run that died is exactly what the post-mortem wants.
+  if (trace) {
+    try {
+      trace->write(options_.trace_out);
+      progress.note("campaign trace (" + std::to_string(trace->size()) +
+                    " events) written to '" + options_.trace_out + "'");
+    } catch (const std::exception& e) {
+      if (!failed.exchange(true)) {
+        first_error = e.what();
+      }
+    }
   }
 
   if (failed.load()) {
@@ -514,6 +586,10 @@ RunnerOptions options_from_cli(const util::Cli& cli) {
   if (cli.has("keep-going")) {
     options.keep_going = cli.get_flag("keep-going");
   }
+  if (cli.has("progress-interval")) {
+    options.progress_interval_s = cli.get_double("progress-interval");
+  }
+  options.trace_out = cli.get("trace-out");
   // Runner::run owns the merge/store/shard consistency rules.
   return options;
 }

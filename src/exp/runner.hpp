@@ -91,6 +91,16 @@ struct RunnerOptions {
   /// Report jobs-done/total, ETA and writer-queue stats to stderr
   /// while executing.
   bool progress = false;
+  /// Seconds between progress heartbeat lines (--progress-interval);
+  /// <= 0 prints on every finished job.
+  double progress_interval_s = 0.5;
+  /// When non-empty, record a whole-campaign Chrome trace (per-job
+  /// spans on per-worker tracks, retry/steal/fail markers, the async
+  /// writer's queue-depth counter) and write it to this path after the
+  /// pool drains — load it in Perfetto / chrome://tracing. Purely
+  /// observational: results and stored rows are byte-identical with or
+  /// without it.
+  std::string trace_out;
   /// Per-job wall-clock deadline in seconds; 0 disables. A job past
   /// its deadline counts as a failed attempt (the runner stops waiting
   /// for it; the abandoned attempt finishes on a detached thread).
@@ -131,8 +141,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
 
 /// Builds RunnerOptions from the shared bench flags (--jobs, --shard,
 /// --cache, --store, --cache-compact, --merge, --progress,
-/// --job-timeout, --job-attempts, --keep-going; see
-/// util::Cli::with_bench_defaults).
+/// --progress-interval, --trace-out, --job-timeout, --job-attempts,
+/// --keep-going; see util::Cli::with_bench_defaults).
 /// Throws std::runtime_error on a malformed --shard or --store;
 /// cross-option consistency (--merge needs --cache, ...) is enforced
 /// by Runner::run.

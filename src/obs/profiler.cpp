@@ -1,0 +1,85 @@
+#include "obs/profiler.hpp"
+
+#include "obs/trace_log.hpp"
+
+namespace bas::obs {
+
+namespace {
+
+constexpr const char* kPhaseNames[kPhaseCount] = {
+    "queue-ops",      "bookkeeping",    "dvs-select", "candidate-build",
+    "estimate-score", "select",         "battery-advance"};
+
+constexpr const char* kPhaseFields[kPhaseCount] = {
+    "ph_queue_ops_ns",      "ph_bookkeeping_ns",
+    "ph_dvs_select_ns",     "ph_candidate_build_ns",
+    "ph_estimate_score_ns", "ph_select_ns",
+    "ph_battery_advance_ns"};
+
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  return kPhaseNames[static_cast<int>(phase)];
+}
+
+const char* phase_field(Phase phase) {
+  return kPhaseFields[static_cast<int>(phase)];
+}
+
+#if BAS_PROFILE
+
+PhaseClock::PhaseClock(PhaseProfile* profile, TraceLog* log)
+    : enabled_(profile != nullptr || log != nullptr),
+      profile_(profile),
+      log_(log) {
+  if (enabled_) {
+    tick_epoch_ = tick_now();
+    wall_epoch_ = std::chrono::steady_clock::now();
+    last_ = tick_epoch_;
+    if (log_ != nullptr) {
+      log_last_us_ = log_->now_us();
+    }
+  }
+}
+
+void PhaseClock::lap_log(Phase phase) {
+  if (logged_spans_ >= kMaxLoggedSpans) {
+    return;
+  }
+  ++logged_spans_;
+  const double now_us = log_->now_us();
+  log_->span(phase_name(phase), kProfilerPid, 0, log_last_us_,
+             now_us - log_last_us_);
+  log_last_us_ = now_us;
+}
+
+void PhaseClock::finish() {
+  if (!enabled_ || finished_) {
+    return;
+  }
+  finished_ = true;
+  if (profile_ == nullptr) {
+    return;
+  }
+  // Run-level calibration: ns per tick measured over the whole run, so
+  // the hot path accumulated raw TSC ticks without ever converting.
+  // (With the steady_clock fallback ticks already are ns and the ratio
+  // is ~1; the calibration still holds exactly.)
+  const std::uint64_t tick_span = tick_now() - tick_epoch_;
+  const double wall_ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - wall_epoch_)
+          .count();
+  const double ns_per_tick =
+      tick_span > 0 ? wall_ns / static_cast<double>(tick_span) : 0.0;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    profile_->ns[p] +=
+        static_cast<std::uint64_t>(static_cast<double>(ticks_[p]) *
+                                   ns_per_tick);
+    profile_->laps[p] += profile_scratch_.laps[p];
+  }
+}
+
+#endif  // BAS_PROFILE
+
+}  // namespace bas::obs

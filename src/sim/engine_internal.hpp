@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "arrival/arrival.hpp"
 #include "dvs/policy.hpp"
 #include "dvs/processor.hpp"
+#include "obs/trace_log.hpp"
 #include "sched/priority.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
@@ -278,6 +280,16 @@ inline void release_instance(Scratch& s, const SimConfig& cfg,
   ir.remaining_wc = gs.total_wc_cycles;
   ++s.released_count[static_cast<std::size_t>(g)];
   ++res.instances_released;
+  if (cfg.trace_log != nullptr) {
+    // Sim-time release marker, one per instance on the graph's track.
+    // The fixed name is what the trace-based arrival-rate diagnostic
+    // counts (tests/test_arrival.cpp).
+    char args[64];
+    std::snprintf(args, sizeof(args), "{\"graph\": %d, \"instance\": %llu}",
+                  g, static_cast<unsigned long long>(ir.number));
+    cfg.trace_log->instant("release", obs::kSimPid, g, ir.release_s * 1e6,
+                           args);
+  }
 }
 
 }  // namespace bas::sim::detail

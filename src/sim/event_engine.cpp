@@ -52,6 +52,14 @@ SimResult Simulator::run_event(bat::Battery* battery) {
   const int n_graphs = static_cast<int>(set_.size());
   const std::size_t n = set_.size();
 
+  // Phase profiler (no-op shell unless BAS_PROFILE compiled it in) and
+  // optional trace sink. Both are pure instrumentation: they read
+  // clocks and append to res.perf.phases / the log, never simulation
+  // state, so results are bitwise identical with them on or off.
+  obs::TraceLog* const tlog = config_.trace_log;
+  obs::PhaseClock prof(
+      config_.record_phase_profile ? &res.perf.phases : nullptr, tlog);
+
   Scratch& s = *scratch_;
   reset_run_state(s, n);
   if (config_.record_trace) {
@@ -266,6 +274,7 @@ SimResult Simulator::run_event(bat::Battery* battery) {
     if (count_perf) {
       ++res.perf.steps;
     }
+    prof.mark();
 
     // ---- 1. dispatch every event due now -----------------------------
     if (!q.empty() && q.top().time <= t + kEps) {
@@ -301,6 +310,7 @@ SimResult Simulator::run_event(bat::Battery* battery) {
         next_release_s = min_next_release(s);
       }
     }
+    prof.lap(obs::Phase::kQueueOps);
 
     if (!config_.drain && t >= config_.horizon_s - kEps) {
       break;
@@ -334,6 +344,7 @@ SimResult Simulator::run_event(bat::Battery* battery) {
       const double db = inst[b].deadline_s;
       return da != db ? da < db : a < b;
     });
+    prof.lap(obs::Phase::kBookkeeping);
 
     if (s.edf.empty()) {
       // Jump the whole idle gap to the next release (or the horizon).
@@ -351,10 +362,12 @@ SimResult Simulator::run_event(bat::Battery* battery) {
         }
         accrue(t, dt, proc_.idle_current_a(), 0.0, false);
         if (battery_dead && config_.stop_when_battery_empty) {
+          prof.lap(obs::Phase::kBatteryAdvance);
           break;
         }
       }
       t = t_next;
+      prof.lap(obs::Phase::kBatteryAdvance);
       continue;
     }
 
@@ -368,6 +381,7 @@ SimResult Simulator::run_event(bat::Battery* battery) {
       }
     }
     const auto& plan = cached_plan;
+    prof.lap(obs::Phase::kDvsSelect);
 
     // ---- 5. ready list + priority order (the ordering half) ----------
     // Candidate enumeration order is the tick engine's exactly, so a
@@ -397,6 +411,7 @@ SimResult Simulator::run_event(bat::Battery* battery) {
     if (count_perf) {
       res.perf.candidates_scored += n_cand;
     }
+    prof.lap(obs::Phase::kCandidateBuild);
     // A lone candidate needs no order — unless the priority consumes
     // randomness, in which case it is scored anyway to keep its stream
     // aligned with the tick engine's.
@@ -414,6 +429,7 @@ SimResult Simulator::run_event(bat::Battery* battery) {
         sc.score = scheme_.priority->score(sc.cand, t);
       }
     }
+    prof.lap(obs::Phase::kEstimateScore);
 
     // Selection: the unique (score, graph, node) minimum, falling back
     // to the fully sorted walk only when that minimum fails the
@@ -460,6 +476,7 @@ SimResult Simulator::run_event(bat::Battery* battery) {
     if (chosen == nullptr) {
       throw std::logic_error("Simulator: no feasible candidate (bug)");
     }
+    prof.lap(obs::Phase::kSelect);
 
     // ---- 6. run the chosen node until completion or next release -----
     const int g = chosen->cand.graph;
@@ -498,6 +515,13 @@ SimResult Simulator::run_event(bat::Battery* battery) {
                                       t_now, t_now + sustained,
                                       ph.op.freq_hz, current});
       }
+      if (tlog != nullptr && sustained > 0.0) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "g%d/n%u i%llu", g,
+                      static_cast<unsigned>(chosen->cand.node),
+                      static_cast<unsigned long long>(ir.number));
+        tlog->span(name, obs::kSimPid, g, t_now * 1e6, sustained * 1e6);
+      }
       if (current > last_busy_current + 1e-12) {
         ++res.frequency_increases;
       }
@@ -508,6 +532,7 @@ SimResult Simulator::run_event(bat::Battery* battery) {
       }
     }
     t = t_now;
+    prof.lap(obs::Phase::kBatteryAdvance);
 
     // ---- 7. bookkeeping ----------------------------------------------
     executed_cycles = std::min(executed_cycles, nr.remaining_ac);
@@ -546,10 +571,18 @@ SimResult Simulator::run_event(bat::Battery* battery) {
         if (t > ir.deadline_s + 1e-6) {
           ++res.deadline_misses;
         }
+        if (tlog != nullptr) {
+          char args[64];
+          std::snprintf(args, sizeof(args),
+                        "{\"graph\": %d, \"instance\": %llu}", g,
+                        static_cast<unsigned long long>(ir.number));
+          tlog->instant("complete", obs::kSimPid, g, t * 1e6, args);
+        }
       }
     } else if (run_until >= t_release - kEps) {
       ++res.preemptions;
     }
+    prof.lap(obs::Phase::kBookkeeping);
   }
 
   // Settle the battery: flush whatever the last window holds, then pin

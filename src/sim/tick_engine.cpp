@@ -31,6 +31,14 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
   const int n_graphs = static_cast<int>(set_.size());
   const std::size_t n = set_.size();
 
+  // Phase profiler (no-op shell unless BAS_PROFILE compiled it in) and
+  // optional trace sink — instrumentation only, reading clocks and
+  // writing res.perf.phases / the log, so the tick engine's bit-frozen
+  // trajectory is untouched.
+  obs::TraceLog* const tlog = config_.trace_log;
+  obs::PhaseClock prof(
+      config_.record_phase_profile ? &res.perf.phases : nullptr, tlog);
+
   Scratch& s = *scratch_;
   reset_run_state(s, n);
   if (config_.record_trace) {
@@ -89,6 +97,7 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
     if (count_perf) {
       ++res.perf.steps;
     }
+    prof.mark();
 
     // ---- 1. process due releases ------------------------------------
     if (next_release_s <= t + kEps) {
@@ -99,6 +108,7 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
       }
       next_release_s = min_next_release(s);
     }
+    prof.lap(obs::Phase::kQueueOps);
 
     if (!config_.drain && t >= config_.horizon_s - kEps) {
       break;
@@ -132,6 +142,7 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
       const double db = inst[b].deadline_s;
       return da != db ? da < db : a < b;
     });
+    prof.lap(obs::Phase::kBookkeeping);
 
     if (s.edf.empty()) {
       double t_next = next_release_s;
@@ -151,6 +162,7 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
         const double sustained = consume(proc_.idle_current_a(), dt);
         t += sustained;
         if (battery_dead && config_.stop_when_battery_empty) {
+          prof.lap(obs::Phase::kBatteryAdvance);
           break;
         }
       }
@@ -158,6 +170,7 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
       if (count_perf && scratch_caps() != caps_before) {
         ++res.perf.scratch_grows;
       }
+      prof.lap(obs::Phase::kBatteryAdvance);
       continue;
     }
 
@@ -165,6 +178,7 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
     const double fref =
         std::clamp(scheme_.dvs->select(s.statuses, t), 0.0, proc_.fmax_hz());
     const auto plan = dvs::realize(proc_, fref);
+    prof.lap(obs::Phase::kDvsSelect);
 
     // ---- 5. build the ready list (the scheme's ordering half) --------
     s.candidates.clear();
@@ -197,9 +211,11 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
     if (count_perf) {
       res.perf.candidates_scored += s.candidates.size();
     }
+    prof.lap(obs::Phase::kCandidateBuild);
     for (auto& sc : s.candidates) {
       sc.score = scheme_.priority->score(sc.cand, t);
     }
+    prof.lap(obs::Phase::kEstimateScore);
     util::insertion_sort(s.candidates,
                    [](const ScoredCandidate& a, const ScoredCandidate& b) {
                      if (a.score != b.score) {
@@ -225,6 +241,7 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
     if (chosen == nullptr) {
       throw std::logic_error("Simulator: no feasible candidate (bug)");
     }
+    prof.lap(obs::Phase::kSelect);
 
     // ---- 6. run the chosen node until completion or next release -----
     const int g = chosen->cand.graph;
@@ -268,6 +285,13 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
                                       t_now, t_now + sustained,
                                       ph.op.freq_hz, current});
       }
+      if (tlog != nullptr && sustained > 0.0) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "g%d/n%u i%llu", g,
+                      static_cast<unsigned>(chosen->cand.node),
+                      static_cast<unsigned long long>(ir.number));
+        tlog->span(name, obs::kSimPid, g, t_now * 1e6, sustained * 1e6);
+      }
       if (current > last_busy_current + 1e-12) {
         ++res.frequency_increases;
       }
@@ -278,6 +302,7 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
       }
     }
     t = t_now;
+    prof.lap(obs::Phase::kBatteryAdvance);
 
     // ---- 7. bookkeeping ----------------------------------------------
     executed_cycles = std::min(executed_cycles, nr.remaining_ac);
@@ -312,6 +337,13 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
         if (t > ir.deadline_s + 1e-6) {
           ++res.deadline_misses;
         }
+        if (tlog != nullptr) {
+          char args[64];
+          std::snprintf(args, sizeof(args),
+                        "{\"graph\": %d, \"instance\": %llu}", g,
+                        static_cast<unsigned long long>(ir.number));
+          tlog->instant("complete", obs::kSimPid, g, t * 1e6, args);
+        }
       }
     } else if (run_until >= t_release - kEps) {
       ++res.preemptions;
@@ -320,6 +352,7 @@ SimResult Simulator::run_tick(bat::Battery* battery) {
     if (count_perf && scratch_caps() != caps_before) {
       ++res.perf.scratch_grows;
     }
+    prof.lap(obs::Phase::kBookkeeping);
   }
 
   res.end_time_s = t;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace_log.hpp"
+
 namespace bas::store {
 
 std::string WriterStats::summary() const {
@@ -12,8 +14,11 @@ std::string WriterStats::summary() const {
          std::to_string(stalls) + ", drops " + std::to_string(dropped);
 }
 
-AsyncWriter::AsyncWriter(CampaignStore& store, std::size_t capacity)
-    : store_(store), capacity_(std::max<std::size_t>(1, capacity)) {
+AsyncWriter::AsyncWriter(CampaignStore& store, std::size_t capacity,
+                         obs::TraceLog* trace)
+    : store_(store),
+      capacity_(std::max<std::size_t>(1, capacity)),
+      trace_(trace) {
   ring_.resize(capacity_);
   counters_.capacity = capacity_;
   consumer_ = std::thread([this] { consume(); });
@@ -88,6 +93,14 @@ void AsyncWriter::consume() {
     lock.unlock();
     not_full_.notify_all();
 
+    if (trace_ != nullptr) {
+      // One sample per batch: the depth the consumer woke to. Together
+      // with the post-commit sample below this draws the sawtooth of
+      // the ring filling and draining on the campaign trace.
+      trace_->counter("writer queue depth", obs::kCampaignPid,
+                      trace_->now_us(), static_cast<double>(batch.size()));
+    }
+
     bool ok = true;
     std::string error;
     try {
@@ -102,6 +115,13 @@ void AsyncWriter::consume() {
 
     lock.lock();
     in_flight_ = false;
+    if (trace_ != nullptr) {
+      // Post-commit sample: whatever producers queued while the batch
+      // was committing. (TraceLog's own mutex nests harmlessly here —
+      // it never calls back into the writer.)
+      trace_->counter("writer queue depth", obs::kCampaignPid,
+                      trace_->now_us(), static_cast<double>(size_));
+    }
     if (ok) {
       counters_.written += batch.size();
       ++counters_.batches;

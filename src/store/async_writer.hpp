@@ -30,6 +30,10 @@
 
 #include "store/store.hpp"
 
+namespace bas::obs {
+class TraceLog;
+}
+
 namespace bas::store {
 
 /// A snapshot of the writer-queue counters, for the progress heartbeat
@@ -51,8 +55,12 @@ struct WriterStats {
 class AsyncWriter {
  public:
   /// Spawns the consumer thread. `capacity` bounds the ring (>= 1);
-  /// the store must outlive the writer.
-  AsyncWriter(CampaignStore& store, std::size_t capacity);
+  /// the store must outlive the writer. With a TraceLog attached (not
+  /// owned, must outlive the writer) the consumer samples the ring
+  /// depth around every batch commit onto the campaign trace's
+  /// "writer queue depth" counter track.
+  AsyncWriter(CampaignStore& store, std::size_t capacity,
+              obs::TraceLog* trace = nullptr);
 
   /// Drains the ring, then joins the consumer. Backend errors during
   /// the final drain are swallowed (call drain() first to observe
@@ -78,6 +86,7 @@ class AsyncWriter {
 
   CampaignStore& store_;
   const std::size_t capacity_;
+  obs::TraceLog* const trace_;
 
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;

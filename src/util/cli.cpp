@@ -68,6 +68,8 @@ std::map<std::string, std::string> Cli::with_bench_defaults(
   defaults.emplace("cache-compact", "false");
   defaults.emplace("merge", "false");
   defaults.emplace("progress", "false");
+  defaults.emplace("progress-interval", "0.5");
+  defaults.emplace("trace-out", "");
   defaults.emplace("job-timeout", "0");
   defaults.emplace("job-attempts", "1");
   defaults.emplace("keep-going", "false");
@@ -148,9 +150,12 @@ std::string Cli::config_summary() const {
   // flags too: they change how jobs execute and persist, never what a
   // job computes, so switching backend or adding retries must not
   // invalidate a store full of results.
+  // Flags that steer execution, reporting or storage without changing
+  // any job's output — excluded from the cache-keying summary.
   static const char* const kEngineFlags[] = {
       "jobs",        "csv",          "shard",        "cache",
       "store",       "cache-compact", "merge",       "progress",
+      "progress-interval",            "trace-out",
       "job-timeout", "job-attempts", "keep-going",   "list-scenarios"};
   std::ostringstream out;
   bool first = true;

@@ -45,6 +45,14 @@ class Cli {
   ///                (combines shard outputs; requires --cache)
   ///   --progress   report jobs-done/total, ETA and writer-queue stats
   ///                to stderr
+  ///   --progress-interval S
+  ///                seconds between progress heartbeat lines (default
+  ///                0.5; <= 0 prints on every finished job)
+  ///   --trace-out PATH
+  ///                write a Chrome-trace-event JSON of the campaign
+  ///                (per-job spans per worker, retry/steal markers,
+  ///                writer queue depth) — load in Perfetto or
+  ///                chrome://tracing; purely observational
   ///   --job-timeout S
   ///                per-job wall-clock deadline in seconds (0 = off)
   ///   --job-attempts N
@@ -75,7 +83,8 @@ class Cli {
   std::string summary() const;
 
   /// summary() minus the engine/campaign flags (--jobs, --csv, --shard,
-  /// --cache, --store, --merge, --progress, --job-timeout,
+  /// --cache, --store, --merge, --progress, --progress-interval,
+  /// --trace-out, --job-timeout,
   /// --job-attempts, --keep-going, --list-scenarios) and minus options
   /// whose value is empty (unset optional settings, e.g. unused
   /// --scenario.FIELD overrides) — exactly the options that can alter
