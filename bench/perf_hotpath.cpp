@@ -10,7 +10,7 @@
 // so every cell of one rep times the same task-graph sets (CRN for
 // perf: a cell ratio is a code ratio, not a workload ratio).
 //
-// Outputs BENCH_perf.json (schema "bas-perf/3", documented in
+// Outputs BENCH_perf.json (schema "bas-perf/4", documented in
 // EXPERIMENTS.md, "Performance"): per-cell counters, rates, the flat
 // k_* kernel counters and the flat ph_* phase-profile fields — all
 // driven off one obs::Metrics registry so the schema cannot drift from
@@ -87,6 +87,7 @@ struct CellResult {
   std::uint64_t battery_interval_advances = 0;
   std::uint64_t candidates_scored = 0;
   std::uint64_t scratch_grows = 0;
+  std::uint64_t edf_incremental_ops = 0;
   double elapsed_s = 0.0;
   bas::bat::KernelCounters kernel;
   bas::obs::PhaseProfile phases;  ///< all zero unless BAS_PROFILE builds
@@ -131,17 +132,21 @@ std::size_t scheme_index(const std::string& label) {
 }
 
 /// Metric lane order shared by the direct loop and the campaign
-/// pipeline: 6 hot-path lanes, the 12 per-kernel battery counters in
-/// KernelCounters declaration order, then the phase profile — 7
+/// pipeline: 7 hot-path lanes, the 12 per-kernel battery counters in
+/// KernelCounters declaration order, then the phase profile — 8
 /// per-phase ns lanes (obs::phase_field order) plus the total boundary
 /// count. Counters are exact in doubles (far below 2^53); the ph_*
 /// lanes are non-zero only on a profiled rep (BAS_PROFILE builds,
 /// record_phase_profile set) — timed and campaign reps never profile,
 /// so their ph_* lanes are zero by construction.
+constexpr std::size_t kLaneElapsed = 6;     ///< index of elapsed_s
+constexpr std::size_t kLaneKernel = 7;      ///< first k_* lane
+constexpr std::size_t kLanePhase = 19;      ///< first ph_* lane
 const std::vector<std::string> make_metric_names() {
   std::vector<std::string> names = {
       "steps",       "battery_draws", "battery_interval_advances",
-      "candidates_scored", "scratch_grows", "elapsed_s",
+      "candidates_scored", "scratch_grows", "edf_incremental_ops",
+      "elapsed_s",
       "k_exp_sweeps", "k_exp_calls",  "k_decay_hits", "k_decay_misses",
       "k_gain_hits",  "k_gain_misses", "k_kibam_shared_exps", "k_pow_hits",
       "k_pow_misses", "k_batch_calls", "k_batch_lanes", "k_fast_advances"};
@@ -152,6 +157,7 @@ const std::vector<std::string> make_metric_names() {
   return names;
 }
 const std::vector<std::string> kMetricNames = make_metric_names();
+static_assert(kLaneKernel == kLaneElapsed + 1);
 
 void fold_metrics(CellResult* out, const std::vector<double>& m) {
   auto u64 = [](double v) { return static_cast<std::uint64_t>(v); };
@@ -161,24 +167,25 @@ void fold_metrics(CellResult* out, const std::vector<double>& m) {
   out->battery_interval_advances += u64(m[2]);
   out->candidates_scored += u64(m[3]);
   out->scratch_grows += u64(m[4]);
-  out->elapsed_s += m[5];
+  out->edf_incremental_ops += u64(m[5]);
+  out->elapsed_s += m[kLaneElapsed];
   auto& k = out->kernel;
-  k.exp_sweeps += u64(m[6]);
-  k.exp_calls += u64(m[7]);
-  k.decay_hits += u64(m[8]);
-  k.decay_misses += u64(m[9]);
-  k.gain_hits += u64(m[10]);
-  k.gain_misses += u64(m[11]);
-  k.kibam_shared_exps += u64(m[12]);
-  k.pow_hits += u64(m[13]);
-  k.pow_misses += u64(m[14]);
-  k.batch_calls += u64(m[15]);
-  k.batch_lanes += u64(m[16]);
-  k.fast_advances += u64(m[17]);
+  k.exp_sweeps += u64(m[kLaneKernel + 0]);
+  k.exp_calls += u64(m[kLaneKernel + 1]);
+  k.decay_hits += u64(m[kLaneKernel + 2]);
+  k.decay_misses += u64(m[kLaneKernel + 3]);
+  k.gain_hits += u64(m[kLaneKernel + 4]);
+  k.gain_misses += u64(m[kLaneKernel + 5]);
+  k.kibam_shared_exps += u64(m[kLaneKernel + 6]);
+  k.pow_hits += u64(m[kLaneKernel + 7]);
+  k.pow_misses += u64(m[kLaneKernel + 8]);
+  k.batch_calls += u64(m[kLaneKernel + 9]);
+  k.batch_lanes += u64(m[kLaneKernel + 10]);
+  k.fast_advances += u64(m[kLaneKernel + 11]);
   for (int p = 0; p < obs::kPhaseCount; ++p) {
-    out->phases.ns[p] += u64(m[18 + static_cast<std::size_t>(p)]);
+    out->phases.ns[p] += u64(m[kLanePhase + static_cast<std::size_t>(p)]);
   }
-  out->ph_laps += u64(m[18 + obs::kPhaseCount]);
+  out->ph_laps += u64(m[kLanePhase + obs::kPhaseCount]);
 }
 
 /// Times one replicate of one cell: the clock wraps simulate_scheme
@@ -214,6 +221,7 @@ std::vector<double> time_rep(const Cell& cell, std::uint64_t seed, int rep,
                                d(r.perf.battery_interval_advances),
                                d(r.perf.candidates_scored),
                                d(r.perf.scratch_grows),
+                               d(r.perf.edf_incremental_ops),
                                std::chrono::duration<double>(t1 - t0).count(),
                                d(k.exp_sweeps),
                                d(k.exp_calls),
@@ -249,10 +257,10 @@ CellResult time_cell(const Cell& cell, int sets, std::uint64_t seed) {
     const auto lanes = time_rep(cell, seed, 0, /*profile=*/true);
     auto u64 = [](double v) { return static_cast<std::uint64_t>(v); };
     for (int p = 0; p < obs::kPhaseCount; ++p) {
-      out.phases.ns[p] = u64(lanes[18 + static_cast<std::size_t>(p)]);
+      out.phases.ns[p] = u64(lanes[kLanePhase + static_cast<std::size_t>(p)]);
     }
-    out.ph_laps = u64(lanes[18 + obs::kPhaseCount]);
-    out.profile_elapsed_s = lanes[5];
+    out.ph_laps = u64(lanes[kLanePhase + obs::kPhaseCount]);
+    out.profile_elapsed_s = lanes[kLaneElapsed];
   }
   return out;
 }
@@ -327,9 +335,9 @@ std::vector<CellResult> run_campaign(const std::vector<Cell>& cells,
   return out;
 }
 
-constexpr const char* kSchema = "bas-perf/3";
+constexpr const char* kSchema = "bas-perf/4";
 
-/// The flat numeric fields of one bas-perf/3 cell, as a metrics
+/// The flat numeric fields of one bas-perf/4 cell, as a metrics
 /// registry in schema order. One builder serves the JSON emitter and
 /// any future consumer, so the cell schema and the registry names
 /// cannot drift apart.
@@ -342,6 +350,7 @@ obs::Metrics cell_metrics(const CellResult& r) {
   metrics.set("battery_interval_advances", u(r.battery_interval_advances));
   metrics.set("candidates_scored", u(r.candidates_scored));
   metrics.set("scratch_grows", u(r.scratch_grows));
+  metrics.set("edf_incremental_ops", u(r.edf_incremental_ops));
   metrics.set("elapsed_s", r.elapsed_s, obs::MetricKind::kGauge);
   metrics.set("steps_per_sec", r.steps_per_sec(), obs::MetricKind::kGauge);
   metrics.set("draws_per_sec", r.draws_per_sec(), obs::MetricKind::kGauge);

@@ -78,6 +78,7 @@ void fill(Metrics& metrics, const sim::PerfCounters& perf) {
   metrics.set("scratch_grows", u(perf.scratch_grows));
   metrics.set("events_popped", u(perf.events_popped));
   metrics.set("ticks_skipped", u(perf.ticks_skipped));
+  metrics.set("edf_incremental_ops", u(perf.edf_incremental_ops));
   // Battery kernel counters (k_*), in bas-perf cell order.
   const auto& k = perf.kernel;
   metrics.set("k_exp_sweeps", u(k.exp_sweeps));

@@ -8,7 +8,7 @@
 // are unique (set() on an existing name overwrites its value, never
 // duplicates the entry), and the standard fillers below always register
 // the same names in the same order — which is what makes the flat
-// bas-perf/3 JSON emitted by bench/perf_hotpath and the heartbeat
+// bas-perf/4 JSON emitted by bench/perf_hotpath and the heartbeat
 // suffix rendered by the runner stable across runs and builds
 // (tests/test_obs.cpp pins uniqueness and stability).
 //
@@ -71,7 +71,7 @@ std::string format_value(double value);
 
 /// Registers the simulator hot-path lanes (steps, battery_draws, ...),
 /// the per-kernel battery counters (k_*) and the phase profile (ph_*_ns
-/// + ph_laps) — the exact flat names of the bas-perf/3 cell schema, in
+/// + ph_laps) — the exact flat names of the bas-perf/4 cell schema, in
 /// schema order.
 void fill(Metrics& metrics, const sim::PerfCounters& perf);
 

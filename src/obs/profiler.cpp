@@ -7,14 +7,15 @@ namespace bas::obs {
 namespace {
 
 constexpr const char* kPhaseNames[kPhaseCount] = {
-    "queue-ops",      "bookkeeping",    "dvs-select", "candidate-build",
-    "estimate-score", "select",         "battery-advance"};
+    "queue-ops",      "incremental-maint", "bookkeeping",
+    "dvs-select",     "candidate-build",   "estimate-score",
+    "select",         "battery-advance"};
 
 constexpr const char* kPhaseFields[kPhaseCount] = {
-    "ph_queue_ops_ns",      "ph_bookkeeping_ns",
-    "ph_dvs_select_ns",     "ph_candidate_build_ns",
-    "ph_estimate_score_ns", "ph_select_ns",
-    "ph_battery_advance_ns"};
+    "ph_queue_ops_ns",      "ph_incremental_maint_ns",
+    "ph_bookkeeping_ns",    "ph_dvs_select_ns",
+    "ph_candidate_build_ns", "ph_estimate_score_ns",
+    "ph_select_ns",         "ph_battery_advance_ns"};
 
 }  // namespace
 

@@ -3,13 +3,19 @@
 // CMake option, mirroring BAS_KERNEL_COUNTERS).
 //
 // The scheduling loops are partitioned into a fixed phase taxonomy —
-// the same seven phases in both engines, so a tick/event profile is
+// the same phases in both engines, so a tick/event profile is
 // comparable phase for phase:
 //
 //   queue-ops        release scanning / event dispatch, queue pushes,
 //                    merge-window observation flushes
-//   bookkeeping      status snapshot, EDF ordering, post-slice
-//                    completion bookkeeping
+//   incremental-maint event engine only: maintaining the persistent
+//                    EDF order and write-through status snapshot at
+//                    releases/completions plus the deadline-expiry
+//                    watch (work the per-step rebuild used to do under
+//                    bookkeeping; the tick engine never laps it)
+//   bookkeeping      status snapshot + EDF ordering (tick engine's
+//                    per-step rebuild), post-slice completion
+//                    bookkeeping
 //   dvs-select       DvsPolicy::select + realize (the scheme's DVS half)
 //   candidate-build  ready-list candidate enumeration
 //   estimate-score   estimator lookups + priority scoring
@@ -63,6 +69,7 @@ class TraceLog;
 /// The fixed phase taxonomy, in loop order.
 enum class Phase : int {
   kQueueOps = 0,
+  kIncrementalMaint,
   kBookkeeping,
   kDvsSelect,
   kCandidateBuild,
@@ -70,11 +77,11 @@ enum class Phase : int {
   kSelect,
   kBatteryAdvance,
 };
-constexpr int kPhaseCount = 7;
+constexpr int kPhaseCount = 8;
 
 /// Display name ("dvs-select") — trace spans and tables.
 const char* phase_name(Phase phase);
-/// Flat metric/JSON field name ("ph_dvs_select_ns") — the bas-perf/3
+/// Flat metric/JSON field name ("ph_dvs_select_ns") — the bas-perf/4
 /// schema and the metrics registry.
 const char* phase_field(Phase phase);
 

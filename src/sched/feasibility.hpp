@@ -28,16 +28,17 @@ namespace bas::sched {
 /// any earlier deadline at frequency `fref_hz`.
 bool feasibility_check(std::span<const dvs::GraphStatus> edf_sorted,
                        int candidate_pos, double candidate_wc_cycles,
-                       double fref_hz, double now);
+                       double fref_hz, double now) noexcept;
 
 /// The same check reading the EDF order through an index list:
 /// `statuses` is addressed by graph id and `edf_order` holds the ids in
 /// ascending-deadline order. Lets the simulator's hot loop skip
-/// materializing an EDF-sorted copy of the statuses each step; the
-/// prefix fold is identical to the span overload's.
+/// materializing an EDF-sorted copy of the statuses each step; both
+/// overloads run the same internal prefix fold (one template, two
+/// accessors), so the folds cannot drift apart.
 bool feasibility_check(std::span<const dvs::GraphStatus> statuses,
                        std::span<const int> edf_order, int candidate_pos,
                        double candidate_wc_cycles, double fref_hz,
-                       double now);
+                       double now) noexcept;
 
 }  // namespace bas::sched

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <limits>
 
 #include "sched/priority.hpp"
@@ -13,13 +14,32 @@ class PubsPriority final : public PriorityPolicy {
 
   double score(const Candidate& cand, double now) override {
     constexpr double kEps = 1e-12;
-    const double time_left = cand.graph_abs_deadline_s - now;
+    // Per-(graph, decision point) hoist: sibling candidates of one
+    // graph share (now, deadline, remaining wc), so time_left, the s_o
+    // division and s_o^2 are computed once and the identical doubles
+    // reused — exact operand-keyed memoization, no reassociation, so
+    // every score is bit-identical to the unhoisted arithmetic
+    // (pinned by tests/test_incremental_state.cpp). A coincidental key
+    // match across graphs reuses equally identical values.
+    if (now != memo_now_ || cand.graph_abs_deadline_s != memo_deadline_ ||
+        cand.graph_remaining_wc_cycles != memo_rem_wc_) {
+      memo_now_ = now;
+      memo_deadline_ = cand.graph_abs_deadline_s;
+      memo_rem_wc_ = cand.graph_remaining_wc_cycles;
+      memo_time_left_ = memo_deadline_ - now;
+      // Guarded: the unhoisted path never divides when time_left is
+      // at/below epsilon (early return) — the 0.0 is never read.
+      memo_s_o_ = memo_time_left_ > kEps ? memo_rem_wc_ / memo_time_left_
+                                         : 0.0;
+      memo_s_o_sq_ = memo_s_o_ * memo_s_o_;
+    }
+    const double time_left = memo_time_left_;
     if (time_left <= kEps) {
       return -std::numeric_limits<double>::infinity();  // run immediately
     }
     // Speed after the current partial order: all remaining worst case
     // by the deadline.
-    const double s_o = cand.graph_remaining_wc_cycles / time_left;
+    const double s_o = memo_s_o_;
     if (s_o <= kEps) {
       return std::numeric_limits<double>::infinity();
     }
@@ -33,7 +53,7 @@ class PubsPriority final : public PriorityPolicy {
     }
     // ...then the speed needed for what is left.
     const double s_ok = rem_after / t_after;
-    const double denom = s_o * s_o - s_ok * s_ok;
+    const double denom = memo_s_o_sq_ - s_ok * s_ok;
     if (denom <= kEps * s_o * s_o) {
       // Xk == wc_k (or worse estimate): zero expected recovery. Order
       // these after every task with genuine recovery, larger Xk last.
@@ -44,13 +64,31 @@ class PubsPriority final : public PriorityPolicy {
   }
 
   // One virtual dispatch per decision point; the inner calls
-  // devirtualize (final class), so each lane is the scalar score body.
+  // devirtualize (final class), so each lane is the scalar score body
+  // (and shares the per-graph memo across lanes).
   void score_batch(const Candidate* candidates, std::size_t n, double now,
                    double* out) override {
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = score(candidates[i], now);
     }
   }
+
+  void reset() override {
+    // NaN keys can never match, so the first score() recomputes. (A
+    // stale hit would still be exact — the cached values are pure
+    // functions of the key — but a fresh run starts clean.)
+    memo_now_ = std::numeric_limits<double>::quiet_NaN();
+    memo_deadline_ = std::numeric_limits<double>::quiet_NaN();
+    memo_rem_wc_ = std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  double memo_now_ = std::numeric_limits<double>::quiet_NaN();
+  double memo_deadline_ = std::numeric_limits<double>::quiet_NaN();
+  double memo_rem_wc_ = std::numeric_limits<double>::quiet_NaN();
+  double memo_time_left_ = 0.0;
+  double memo_s_o_ = 0.0;
+  double memo_s_o_sq_ = 0.0;
 };
 
 class LtfPriority final : public PriorityPolicy {

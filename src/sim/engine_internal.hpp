@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "arrival/arrival.hpp"
@@ -158,6 +159,12 @@ inline double draw_actual(const SimConfig& cfg, const NodeStatic& ns,
 /// exact transformation: every element written this step is written
 /// before it is read, so the values never depend on what a previous
 /// step (or run) left behind.
+///
+/// The event engine additionally maintains `edf`, `statuses` and
+/// `expiry` persistently across steps (insert/erase at releases and
+/// completions instead of a per-step rebuild); the tick engine keeps
+/// rebuilding `edf` and `statuses` from scratch each step and never
+/// touches the others.
 struct Scratch {
   std::vector<GraphStatic> statics;  // filled once, in the ctor
   std::vector<InstanceRt> inst;
@@ -168,6 +175,18 @@ struct Scratch {
   std::vector<ScoredCandidate> candidates;
   EventQueue queue;
   std::vector<WinSlice> win_slices;
+  /// Event engine: graphs released in the current event batch, each
+  /// once. EDF/status maintenance replays after the batch so the list
+  /// keys stay consistent when several graphs release at one instant.
+  std::vector<int> released_batch;
+  /// Event engine: complete-but-unexpired instances as (abs deadline,
+  /// graph), ascending — the watch that zeroes cc_wc_cycles the moment
+  /// t passes the deadline, reproducing the rebuilt snapshot's
+  /// "expired" rule without an O(graphs) sweep per step.
+  std::vector<std::pair<double, int>> expiry;
+  /// SimConfig::check_incremental_state: the from-scratch EDF rebuild
+  /// the maintained order is compared against.
+  std::vector<int> edf_check;
 };
 
 /// Resets the reused working set without releasing capacity, exactly

@@ -29,7 +29,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
+#include <utility>
 
 #include "dvs/realizer.hpp"
 #include "sched/feasibility.hpp"
@@ -77,7 +79,8 @@ SimResult Simulator::run_event(bat::Battery* battery) {
   auto scratch_caps = [&s] {
     std::size_t caps = s.edf.capacity() + s.candidates.capacity() +
                        s.statuses.capacity() + s.queue.capacity() +
-                       s.win_slices.capacity();
+                       s.win_slices.capacity() + s.released_batch.capacity() +
+                       s.expiry.capacity() + s.edf_check.capacity();
     for (const auto& ir : s.inst) {
       caps += ir.ready.capacity();
     }
@@ -269,6 +272,76 @@ SimResult Simulator::run_event(bat::Battery* battery) {
   // dead work.
   const bool need_statuses =
       !constant_dvs || scheme_.scope == core::ReadyScope::kAllReleased;
+  // The debug cross-check compares the snapshot too, so it forces the
+  // write-through maintenance on even when no reader exists.
+  const bool maintain_statuses =
+      need_statuses || config_.check_incremental_state;
+  // Considered and dropped: a per-(graph, node) cache of estimate()
+  // results keyed on (instance, observe-epoch). Exact — the history
+  // estimator is a pure function of its observed history — but the
+  // interleaved A/B harness measured it ~5-8% SLOWER on the dense
+  // BAS-2 cell: the estimator's EMA read is already one array load, so
+  // the two-level cache indirection plus key compare cost more than
+  // the devirtualized call it elided (EXPERIMENTS.md, "Scheduler-loop
+  // perf").
+
+  // ---- persistent incremental state ---------------------------------
+  // s.edf, the status snapshot and the expiry watch are maintained
+  // across steps from here on: releases and the running node's
+  // bookkeeping are the only writers, so the per-step rebuild the loop
+  // used to do is pure recomputation of unchanged state.
+  s.edf.clear();
+  s.released_batch.clear();
+  s.expiry.clear();
+  if (maintain_statuses) {
+    // Pre-first-release snapshot at t = 0: every instance is an empty
+    // node list (complete()) whose deadline 0 counts as expired — the
+    // bytes the old rebuild produced on the first step.
+    for (int g = 0; g < n_graphs; ++g) {
+      auto& st = statuses[g];
+      st.abs_deadline_s = 0.0;
+      st.complete = true;
+      st.cc_wc_cycles = 0.0;
+      st.remaining_wc_cycles = 0.0;
+    }
+  }
+  const auto edf_less = [&](int a, int b) {
+    const double da = inst[a].deadline_s;
+    const double db = inst[b].deadline_s;
+    return da != db ? da < db : a < b;
+  };
+
+  // SimConfig::check_incremental_state: rebuild both maintained
+  // structures from scratch — the EDF order via the original
+  // insertion_sort path — and require them element-for-element (and
+  // for the snapshot, byte-for-byte) identical.
+  auto check_state = [&](double now) {
+    s.edf_check.clear();
+    for (int g = 0; g < n_graphs; ++g) {
+      if (!inst[g].complete()) {
+        s.edf_check.push_back(g);
+      }
+    }
+    util::insertion_sort(s.edf_check, edf_less);
+    if (s.edf_check != s.edf) {
+      throw std::logic_error(
+          "event engine: maintained EDF order diverged from rebuild");
+    }
+    for (int g = 0; g < n_graphs; ++g) {
+      const auto& ir = inst[g];
+      const auto& st = statuses[g];
+      const bool complete = ir.complete();
+      const bool expired = complete && now >= ir.deadline_s - kEps;
+      const double cc = expired ? 0.0 : ir.cc_wc;
+      if (st.abs_deadline_s != ir.deadline_s || st.complete != complete ||
+          st.cc_wc_cycles != cc ||
+          st.remaining_wc_cycles != ir.remaining_wc) {
+        throw std::logic_error(
+            "event engine: write-through status snapshot diverged from "
+            "rebuild");
+      }
+    }
+  };
 
   while (true) {
     if (count_perf) {
@@ -286,6 +359,20 @@ SimResult Simulator::run_event(bat::Battery* battery) {
         }
         switch (e.kind) {
           case EventKind::kRelease: {
+            // Collect each graph once per batch; the EDF/status
+            // maintenance replays after the whole batch so the list is
+            // only ever searched with consistent keys (a graph may
+            // release twice at one instant under bursty arrivals).
+            bool seen = false;
+            for (const int other : s.released_batch) {
+              if (other == e.actor) {
+                seen = true;
+                break;
+              }
+            }
+            if (!seen) {
+              s.released_batch.push_back(e.actor);
+            }
             release_instance(s, config_, e.actor, res, count_perf);
             const double upcoming =
                 s.arrivals[static_cast<std::size_t>(e.actor)].next;
@@ -319,32 +406,77 @@ SimResult Simulator::run_event(bat::Battery* battery) {
       break;
     }
 
-    // ---- 2. status snapshot (static fields prefilled) ----------------
-    if (need_statuses) {
-      for (int g = 0; g < n_graphs; ++g) {
-        const auto& ir = inst[g];
-        auto& st = statuses[g];
-        st.abs_deadline_s = ir.deadline_s;
-        st.complete = ir.complete();
-        const bool expired = st.complete && t >= ir.deadline_s - kEps;
-        st.cc_wc_cycles = expired ? 0.0 : ir.cc_wc;
-        st.remaining_wc_cycles = ir.remaining_wc;
+    // ---- 2. incremental maintenance: releases + expiry ---------------
+    // The maintained EDF order and snapshot can only have moved at the
+    // releases the batch above dispatched; time passing additionally
+    // carries complete instances across their deadline, which the
+    // expiry watch applies. Everything else is unchanged state the old
+    // per-step rebuild recomputed for nothing.
+    if (!s.released_batch.empty()) {
+      // Pass 1: drop entries keyed under superseded deadlines, so the
+      // re-inserts below only ever search a list whose keys are
+      // current (inst[g].deadline_s already moved for the whole batch).
+      for (const int rg : s.released_batch) {
+        const auto it = std::find(s.edf.begin(), s.edf.end(), rg);
+        if (it != s.edf.end()) {
+          s.edf.erase(it);
+          if (count_perf) {
+            ++res.perf.edf_incremental_ops;
+          }
+        }
+        if (maintain_statuses && !s.expiry.empty()) {
+          const auto we =
+              std::find_if(s.expiry.begin(), s.expiry.end(),
+                           [rg](const std::pair<double, int>& e) {
+                             return e.second == rg;
+                           });
+          if (we != s.expiry.end()) {
+            s.expiry.erase(we);
+          }
+        }
+      }
+      // Pass 2: insert the fresh instances at their (deadline, id)
+      // slots. Same comparator total order as the rebuild's sort, so
+      // the maintained list is the unique sequence insertion_sort
+      // produced — element for element.
+      for (const int rg : s.released_batch) {
+        const auto& ir = inst[rg];
+        if (!ir.complete()) {
+          util::insert_sorted(s.edf, rg, edf_less);
+          if (count_perf) {
+            ++res.perf.edf_incremental_ops;
+          }
+        }
+        if (maintain_statuses) {
+          auto& st = statuses[rg];
+          st.abs_deadline_s = ir.deadline_s;
+          st.complete = ir.complete();
+          const bool expired = st.complete && t >= ir.deadline_s - kEps;
+          st.cc_wc_cycles = expired ? 0.0 : ir.cc_wc;
+          st.remaining_wc_cycles = ir.remaining_wc;
+          if (st.complete && !expired) {
+            // Zero-node graph: released complete with a live deadline.
+            util::insert_sorted(s.expiry, {ir.deadline_s, rg},
+                                std::less<std::pair<double, int>>{});
+          }
+        }
+      }
+      s.released_batch.clear();
+    }
+    if (maintain_statuses) {
+      // Expiry watch: a complete instance's cc_wc_cycles drops to 0
+      // the moment t passes its deadline — the rebuild's `expired`
+      // rule with the same epsilon, applied once per crossing instead
+      // of re-derived per step per graph.
+      while (!s.expiry.empty() && t >= s.expiry.front().first - kEps) {
+        statuses[s.expiry.front().second].cc_wc_cycles = 0.0;
+        s.expiry.erase(s.expiry.begin());
       }
     }
-
-    // ---- 3. EDF order over incomplete instances ----------------------
-    s.edf.clear();
-    for (int g = 0; g < n_graphs; ++g) {
-      if (!inst[g].complete()) {
-        s.edf.push_back(g);
-      }
+    if (config_.check_incremental_state) {
+      check_state(t);
     }
-    util::insertion_sort(s.edf, [&](int a, int b) {
-      const double da = inst[a].deadline_s;
-      const double db = inst[b].deadline_s;
-      return da != db ? da < db : a < b;
-    });
-    prof.lap(obs::Phase::kBookkeeping);
+    prof.lap(obs::Phase::kIncrementalMaint);
 
     if (s.edf.empty()) {
       // Jump the whole idle gap to the next release (or the horizon).
@@ -419,8 +551,7 @@ SimResult Simulator::run_event(bat::Battery* battery) {
     if (do_score) {
       for (auto& sc : s.candidates) {
         if (need_estimate) {
-          const auto& ir = inst[sc.cand.graph];
-          const auto& nr = ir.nodes[sc.cand.node];
+          const auto& nr = inst[sc.cand.graph].nodes[sc.cand.node];
           const double full_estimate = scheme_.estimator->estimate(
               sc.cand.graph, sc.cand.node, nr.wc, nr.ac);
           sc.cand.estimate_cycles =
@@ -543,12 +674,15 @@ SimResult Simulator::run_event(bat::Battery* battery) {
       break;
     }
 
+    bool node_completed = false;
+    bool instance_completed = false;
     if (nr.remaining_ac <= kCycleEps) {
       // The running-slice register dispatches its completion here —
       // the kCompletion arm of the event taxonomy.
       if (count_perf) {
         ++res.perf.events_popped;
       }
+      node_completed = true;
       nr.remaining_ac = 0.0;
       nr.done = true;
       ++ir.done_count;
@@ -567,6 +701,7 @@ SimResult Simulator::run_event(bat::Battery* battery) {
         scheme_.estimator->observe(g, chosen->cand.node, nr.ac);
       }
       if (ir.complete()) {
+        instance_completed = true;
         ++res.instances_completed;
         if (t > ir.deadline_s + 1e-6) {
           ++res.deadline_misses;
@@ -583,6 +718,33 @@ SimResult Simulator::run_event(bat::Battery* battery) {
       ++res.preemptions;
     }
     prof.lap(obs::Phase::kBookkeeping);
+
+    // ---- 8. incremental maintenance: only the running graph moved ----
+    if (maintain_statuses) {
+      auto& st = statuses[g];
+      st.remaining_wc_cycles = ir.remaining_wc;
+      if (instance_completed) {
+        st.complete = true;
+        if (t >= ir.deadline_s - kEps) {
+          st.cc_wc_cycles = 0.0;  // completed at/after its deadline
+        } else {
+          st.cc_wc_cycles = ir.cc_wc;
+          util::insert_sorted(s.expiry, {ir.deadline_s, g},
+                              std::less<std::pair<double, int>>{});
+        }
+      } else if (node_completed) {
+        st.cc_wc_cycles = ir.cc_wc;
+      }
+    }
+    if (instance_completed) {
+      // edf_position indexes the maintained list, which nothing has
+      // touched since the candidate build read it.
+      s.edf.erase(s.edf.begin() + chosen->cand.edf_position);
+      if (count_perf) {
+        ++res.perf.edf_incremental_ops;
+      }
+    }
+    prof.lap(obs::Phase::kIncrementalMaint);
   }
 
   // Settle the battery: flush whatever the last window holds, then pin

@@ -121,6 +121,16 @@ struct SimConfig {
   /// perf_hotpath profiles one dedicated rep instead of the timed
   /// ones. No-op (and free) unless the build compiled BAS_PROFILE in.
   bool record_phase_profile = false;
+  /// Debug cross-check of the event engine's incrementally maintained
+  /// state: at every decision point the engine additionally rebuilds
+  /// the EDF order (via the original util::insertion_sort path) and the
+  /// four dynamic status-snapshot fields from scratch and throws
+  /// std::logic_error if either differs from the maintained copy.
+  /// Instrumentation only — the check reads state and compares, so an
+  /// enabled run that does not throw is byte-identical to a disabled
+  /// one. The tick engine has no incremental state and ignores the
+  /// flag. Far too slow for benchmarks; meant for tests.
+  bool check_incremental_state = false;
   /// Which inner loop runs the simulation. Folded into
   /// ScenarioSpec::fingerprint(), so campaign caches from one engine
   /// never satisfy jobs of the other.
@@ -172,6 +182,12 @@ struct PerfCounters {
   /// intervals (window flushes + whole idle gaps). Every one replaces
   /// what the tick engine issues as per-slice draws. Tick: 0.
   std::uint64_t battery_interval_advances = 0;
+  /// Event engine: sorted insert/erase operations on the persistently
+  /// maintained EDF order (releases and completions are the only
+  /// points it can change). Each step used to pay a full rebuild +
+  /// sort; the attribution counter behind the incremental-state win.
+  /// Tick: 0.
+  std::uint64_t edf_incremental_ops = 0;
   /// Simulated seconds of empty time crossed in single jumps (both
   /// engines jump idle gaps; the counter makes the sparse/dense mix of
   /// a scenario visible in perf reports).

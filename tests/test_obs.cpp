@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <string>
@@ -105,11 +106,50 @@ TEST(Obs, PhaseProfileMatchesTheBuildConfiguration) {
       // the lap count tracks the step count (several laps per step).
       EXPECT_GT(phases.total_ns(), 0u);
       EXPECT_GE(laps, r.perf.steps);
+      // incremental-maint is the event engine's EDF/snapshot upkeep;
+      // the tick engine rebuilds per step and never laps it.
+      const auto maint =
+          phases.laps[static_cast<int>(obs::Phase::kIncrementalMaint)];
+      if (engine == sim::Engine::kEvent) {
+        EXPECT_GT(maint, 0u);
+      } else {
+        EXPECT_EQ(maint, 0u);
+      }
     } else {
       EXPECT_EQ(phases.total_ns(), 0u);
       EXPECT_EQ(laps, 0u);
     }
   }
+}
+
+TEST(Obs, PhasesCoverTheLoopBody) {
+  // The taxonomy partitions the scheduling loop: on a dense cell the
+  // phase sum must account for >= 85% of the sim's own wall time (the
+  // remainder is the boundary clock reads plus setup outside the
+  // loop). Guards against phase re-partitions that silently drop hot
+  // work out of the table — the attribution is only trustworthy while
+  // coverage stays high. BAS_PROFILE builds only.
+  if (!obs::PhaseProfile::compiled_in) {
+    GTEST_SKIP() << "profiler not compiled in";
+  }
+  const auto& spec = scenario::scenario("paper-table2");
+  util::Rng rng(7);
+  const auto set = spec.make_workload(rng);
+  const auto proc = spec.make_processor();
+  auto config = spec.sim_config(util::Rng::hash_combine(7u, 1000u));
+  config.engine = sim::Engine::kEvent;
+  config.record_perf_counters = true;
+  config.record_phase_profile = true;
+  auto battery = scenario::make_battery(spec.battery);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = sim::simulate_scheme(set, proc, core::SchemeKind::kBas2,
+                                      config, battery.get());
+  const auto wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_GT(wall_s, 0.0);
+  const double covered_s = static_cast<double>(r.perf.phases.total_ns()) / 1e9;
+  EXPECT_GE(covered_s / wall_s, 0.85);
 }
 
 TEST(Obs, PhaseProfileStaysZeroWithoutTheOptIn) {
@@ -212,11 +252,13 @@ TEST(Obs, TraceCapturesExecutionSpansInSimTime) {
 // --------------------------------------------------- phase vocabulary
 
 TEST(Obs, PhaseNamesAndFieldsAreASchema) {
-  // These strings are load-bearing: trace span names, bas-perf/3 JSON
+  // These strings are load-bearing: trace span names, bas-perf/4 JSON
   // keys and the metrics registry all use them. Renaming one is a
   // schema change (bump kSchema in bench/perf_hotpath.cpp).
   using obs::Phase;
   EXPECT_STREQ(obs::phase_name(Phase::kQueueOps), "queue-ops");
+  EXPECT_STREQ(obs::phase_name(Phase::kIncrementalMaint),
+               "incremental-maint");
   EXPECT_STREQ(obs::phase_name(Phase::kBookkeeping), "bookkeeping");
   EXPECT_STREQ(obs::phase_name(Phase::kDvsSelect), "dvs-select");
   EXPECT_STREQ(obs::phase_name(Phase::kCandidateBuild), "candidate-build");
@@ -224,6 +266,8 @@ TEST(Obs, PhaseNamesAndFieldsAreASchema) {
   EXPECT_STREQ(obs::phase_name(Phase::kSelect), "select");
   EXPECT_STREQ(obs::phase_name(Phase::kBatteryAdvance), "battery-advance");
   EXPECT_STREQ(obs::phase_field(Phase::kQueueOps), "ph_queue_ops_ns");
+  EXPECT_STREQ(obs::phase_field(Phase::kIncrementalMaint),
+               "ph_incremental_maint_ns");
   EXPECT_STREQ(obs::phase_field(Phase::kBatteryAdvance),
                "ph_battery_advance_ns");
   std::set<std::string> names;
@@ -300,8 +344,10 @@ TEST(Obs, PerfCounterFillerNamesAreUniqueAndStable) {
   EXPECT_TRUE(m.has("steps"));
   EXPECT_TRUE(m.has("battery_draws"));
   EXPECT_TRUE(m.has("events_popped"));
+  EXPECT_TRUE(m.has("edf_incremental_ops"));
   EXPECT_TRUE(m.has("k_exp_sweeps"));
   EXPECT_TRUE(m.has("ph_queue_ops_ns"));
+  EXPECT_TRUE(m.has("ph_incremental_maint_ns"));
   EXPECT_TRUE(m.has("ph_battery_advance_ns"));
   EXPECT_TRUE(m.has("ph_laps"));
   EXPECT_EQ(m.value("steps"), static_cast<double>(r.perf.steps));
